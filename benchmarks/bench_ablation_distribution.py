@@ -1,0 +1,24 @@
+"""Ablation: matrix distribution strategies (paper Section VII-B).
+
+Communication volume of one fine-level mxv under the four schemes the
+paper discusses: the current 1D block-cyclic, the 2D block alternative
+(solution ii), a black-box BFS partition (solution iv), and the
+geometric 3D partition only Ref can use.  Asserts the strict ordering
+3D < BFS < 2D < 1D on the HPCG operator.
+"""
+
+from repro.experiments.ablations import distribution_ablation
+
+
+def bench_distribution_ablation(benchmark):
+    rows = benchmark.pedantic(
+        distribution_ablation, kwargs={"local_nx": 12, "p": 4},
+        rounds=1, iterations=1,
+    )
+    volumes = {r.scheme: r.max_send_values for r in rows}
+    assert volumes["geometric 3D (Ref)"] < volumes["black-box BFS (solution iv)"]
+    assert volumes["black-box BFS (solution iv)"] < volumes["2D block (solution ii)"]
+    assert volumes["2D block (solution ii)"] < volumes["1D block-cyclic (ALP)"]
+    print()
+    for r in rows:
+        print(f"  {r.scheme:<32} {r.max_send_values:>10} values  ({r.note})")

@@ -1,0 +1,31 @@
+"""Ablation: smoother choice vs convergence (paper Section III-A).
+
+RBGS relaxes Gauss-Seidel dependencies to expose parallelism "at the
+cost of a higher number of iterations"; this bench quantifies that cost
+against the exact sequential SYMGS and the fully parallel Jacobi.
+"""
+
+from repro.experiments.ablations import coloring_ablation, smoother_ablation
+
+
+def bench_smoother_convergence(benchmark):
+    rows = benchmark.pedantic(smoother_ablation, kwargs={"nx": 12},
+                              rounds=1, iterations=1)
+    by_name = {r.smoother: r for r in rows}
+    assert all(r.converged for r in rows)
+    assert by_name["symgs (sequential)"].iterations <= by_name["rbgs"].iterations
+    assert by_name["rbgs"].iterations < by_name["jacobi"].iterations
+    print()
+    for r in rows:
+        print(f"  {r.smoother:<22} {r.iterations:>4} iterations to 1e-8")
+
+
+def bench_coloring_orders(benchmark):
+    rows = benchmark.pedantic(coloring_ablation, kwargs={"nx": 12},
+                              rounds=1, iterations=1)
+    by_order = {r.order: r.colors for r in rows}
+    assert by_order["natural (paper)"] == 8
+    assert by_order["lattice parity"] == 8
+    print()
+    for r in rows:
+        print(f"  {r.order:<28} {r.colors} colours")

@@ -1,0 +1,25 @@
+"""Regenerates the convergence-equivalence table (Section V preamble).
+
+Asserts what makes the paper's time comparisons legal: every
+implementation variant (GraphBLAS, raw-CSR, and all three simulated
+distributed backends) produces the same residual history to machine
+precision, while the SYMGS-vs-RBGS smoother swap changes convergence
+only mildly.
+"""
+
+from repro.experiments import convergence
+
+
+def bench_convergence_equivalence(benchmark):
+    result = benchmark.pedantic(
+        convergence.run, kwargs={"nx": 8, "iterations": 8},
+        rounds=1, iterations=1,
+    )
+    claims = result.shape_claims()
+    assert all(claims.values()), claims
+    spread = result.max_relative_spread(
+        ["alp", "ref", "dist-1d", "dist-ref", "dist-2d"]
+    )
+    assert spread < 1e-12
+    print()
+    print(convergence.render(result))

@@ -1,0 +1,18 @@
+"""Regenerates paper Figure 1 (ARM strong scaling) and asserts its shape."""
+
+from repro.experiments import fig1
+from repro.hpcg.problem import generate_problem
+from repro.perf import collect_op_stream
+
+
+def bench_fig1_regeneration(benchmark, problem16):
+    stream = collect_op_stream(problem16, mg_levels=4, iterations=3)
+    result = benchmark.pedantic(
+        fig1.run, kwargs={"stream": stream}, rounds=1, iterations=1
+    )
+    claims = result.shape_claims()
+    failures = [k for k, v in claims.items()
+                if not k.startswith("_") and not v]
+    assert not failures, failures
+    print()
+    print(fig1.render(result))

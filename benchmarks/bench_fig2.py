@@ -1,0 +1,15 @@
+"""Regenerates paper Figure 2 (x86 strong scaling) and asserts its shape."""
+
+from repro.experiments import fig2
+from repro.perf import collect_op_stream
+
+
+def bench_fig2_regeneration(benchmark, problem16):
+    stream = collect_op_stream(problem16, mg_levels=4, iterations=3)
+    result = benchmark.pedantic(
+        fig2.run, kwargs={"stream": stream}, rounds=1, iterations=1
+    )
+    claims = result.shape_claims()
+    assert all(claims.values()), claims
+    print()
+    print(fig2.render(result))

@@ -1,0 +1,22 @@
+"""Regenerates paper Figure 3 (weak scaling, 2..7 nodes) and asserts:
+
+* Ref's execution time is flat (the paper reports at-most-5% spread);
+* ALP's time grows linearly with node count (the Θ(n) allgather).
+"""
+
+import numpy as np
+
+from repro.experiments import fig3
+
+
+def bench_fig3_regeneration(benchmark):
+    result = benchmark.pedantic(
+        fig3.run, kwargs={"local_nx": 24, "iterations": 2},
+        rounds=1, iterations=1,
+    )
+    claims = result.shape_claims()
+    assert all(claims.values()), claims
+    ref = np.array(result.ref_seconds)
+    assert ref.max() / ref.min() < 1.05
+    print()
+    print(fig3.render(result))

@@ -1,0 +1,45 @@
+"""Regenerates paper Figures 4-7 (per-level MG breakdowns) and asserts:
+
+* MG is 80-90% of total time, RBGS alone > 50% (all four figures);
+* distributed ALP spends a larger share in restrict/refine than
+  distributed Ref; distributed Ref a larger share in RBGS (Section V-C).
+"""
+
+from repro.experiments import fig4_7
+from repro.perf import collect_op_stream
+
+
+def bench_fig4_shared_alp(benchmark, problem16):
+    stream = collect_op_stream(problem16, mg_levels=4, iterations=3)
+    result = benchmark.pedantic(
+        fig4_7.run_fig4, kwargs={"stream": stream}, rounds=1, iterations=1
+    )
+    assert all(result.shape_claims().values())
+    print()
+    print(fig4_7.render(result))
+
+
+def bench_fig5_shared_ref(benchmark, problem16):
+    stream = collect_op_stream(problem16, mg_levels=4, iterations=3)
+    result = benchmark.pedantic(
+        fig4_7.run_fig5, kwargs={"stream": stream}, rounds=1, iterations=1
+    )
+    assert all(result.shape_claims().values())
+    print()
+    print(fig4_7.render(result))
+
+
+def bench_fig6_fig7_distributed(benchmark):
+    def both():
+        f6 = fig4_7.run_fig6(local_nx=8, iterations=2, nodes=(2, 4, 6))
+        f7 = fig4_7.run_fig7(local_nx=8, iterations=2, nodes=(2, 4, 6))
+        return f6, f7
+
+    f6, f7 = benchmark.pedantic(both, rounds=1, iterations=1)
+    assert all(f6.shape_claims().values())
+    assert all(f7.shape_claims().values())
+    cross = fig4_7.cross_figure_claims(f6, f7)
+    assert all(cross.values()), cross
+    print()
+    print(fig4_7.render(f6))
+    print(fig4_7.render(f7))

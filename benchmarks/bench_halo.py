@@ -1,0 +1,54 @@
+"""Benchmarks of the locally-executed distributed kernels.
+
+These run the honest per-node versions (compressed local storage +
+explicit halo exchange) and assert bit-equality with shared memory —
+the halo-protocol soundness results of EXPERIMENTS.md.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dist import Grid3DPartition
+from repro.dist.halo import LocalRBGSExecutor, LocalSpmvExecutor
+from repro.hpcg.coloring import lattice_coloring
+from repro.ref.sgs import RefRBGS
+
+
+@pytest.fixture(scope="module")
+def setup(problem16):
+    A = problem16.A.to_scipy(copy=False)
+    part = Grid3DPartition(problem16.grid, 4)
+    owners = part.owner(np.arange(problem16.n))
+    colors = lattice_coloring(problem16.grid)
+    rng = np.random.default_rng(1)
+    return problem16, A, owners, colors, rng.standard_normal(problem16.n)
+
+
+def bench_local_spmv_vs_global(benchmark, setup):
+    problem, A, owners, _colors, x = setup
+    ex = LocalSpmvExecutor(A, owners, 4)
+    y = benchmark(ex.spmv, x)
+    np.testing.assert_array_equal(y, A @ x)
+
+
+def bench_local_rbgs_sweep(benchmark, setup):
+    problem, A, owners, colors, r = setup
+    ex = LocalRBGSExecutor(A, owners, 4, colors)
+
+    def sweep():
+        z = np.zeros(problem.n)
+        ex.sweep(z, r)
+        return z
+
+    z = benchmark(sweep)
+    z_ref = np.zeros(problem.n)
+    RefRBGS(A, colors).forward(z_ref, r)
+    np.testing.assert_array_equal(z, z_ref)
+
+
+def bench_local_rbgs_setup(benchmark, setup):
+    """Partition + local-matrix construction cost (the setup phase a
+    domain-annotated GraphBLAS backend would pay once)."""
+    problem, A, owners, colors, _r = setup
+    ex = benchmark(LocalRBGSExecutor, A, owners, 4, colors)
+    assert ex.ncolors == 8

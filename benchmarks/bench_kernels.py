@@ -1,0 +1,82 @@
+"""Kernel micro-benchmarks: ALP (GraphBLAS) vs Ref (raw CSR).
+
+These quantify the abstraction overhead of the Python GraphBLAS layer
+on the three CG kernels and the masked mxv that powers RBGS.
+"""
+
+import numpy as np
+import pytest
+
+from repro import graphblas as grb
+from repro.hpcg.coloring import color_masks, lattice_coloring
+from repro.ref.kernels import compute_dot, compute_spmv, compute_waxpby
+
+
+@pytest.fixture(scope="module")
+def vectors16(problem16):
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(problem16.n)
+    return (
+        grb.Vector.from_dense(x),
+        grb.Vector.dense(problem16.n),
+        x,
+        np.zeros(problem16.n),
+    )
+
+
+def bench_spmv_alp(benchmark, problem16, vectors16):
+    xg, yg, _, _ = vectors16
+    benchmark(grb.mxv, yg, None, problem16.A, xg)
+    np.testing.assert_allclose(
+        yg.to_dense(), problem16.A.to_scipy() @ xg.to_dense()
+    )
+
+
+def bench_spmv_ref(benchmark, problem16, vectors16):
+    _, _, xn, yn = vectors16
+    A = problem16.A.to_scipy(copy=False)
+    benchmark(compute_spmv, yn, A, xn)
+
+
+def bench_spmv_transpose_descriptor(benchmark, problem16, vectors16):
+    xg, yg, _, _ = vectors16
+    benchmark(
+        grb.mxv, yg, None, problem16.A, xg,
+        desc=grb.descriptors.transpose_matrix,
+    )
+
+
+def bench_masked_mxv_one_color(benchmark, problem16, vectors16):
+    """The RBGS inner operation: structural-masked mxv on 1/8 of rows."""
+    xg, yg, _, _ = vectors16
+    mask = color_masks(lattice_coloring(problem16.grid))[0]
+    benchmark(
+        grb.mxv, yg, mask, problem16.A, xg, desc=grb.descriptors.structural
+    )
+
+
+def bench_mxv_generic_semiring(benchmark, problem16, vectors16):
+    """The fully generic gather/segment-reduce path (min-plus)."""
+    xg, yg, _, _ = vectors16
+    benchmark(grb.mxv, yg, None, problem16.A, xg, semiring=grb.min_plus)
+
+
+def bench_dot_alp(benchmark, problem16, vectors16):
+    xg, _, _, _ = vectors16
+    result = benchmark(grb.dot, xg, xg)
+    assert result > 0
+
+
+def bench_dot_ref(benchmark, vectors16):
+    _, _, xn, _ = vectors16
+    benchmark(compute_dot, xn, xn)
+
+
+def bench_waxpby_alp(benchmark, problem16, vectors16):
+    xg, yg, _, _ = vectors16
+    benchmark(grb.waxpby, yg, 2.0, xg, -1.0, xg)
+
+
+def bench_waxpby_ref(benchmark, vectors16):
+    _, _, xn, yn = vectors16
+    benchmark(compute_waxpby, yn, 2.0, xn, -1.0, xn)

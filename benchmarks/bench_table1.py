@@ -1,0 +1,32 @@
+"""Regenerates paper Table I and asserts its asymptotics.
+
+``pytest benchmarks/bench_table1.py --benchmark-only`` measures the
+regeneration cost and — more importantly — verifies the measured
+communication exponents against the paper's formulas:
+
+* ALP per-node send per mxv ~ n (exponent 1, exact n(p-1)/p match);
+* Ref per-node send per mxv ~ n^(2/3);
+* synchronisation: exactly one barrier per mxv for both.
+"""
+
+import pytest
+
+from repro.experiments import table1
+
+
+def bench_table1_regeneration(benchmark):
+    rows = benchmark.pedantic(
+        table1.run,
+        kwargs={"local_sizes": (8, 12, 16), "procs": (2, 4)},
+        rounds=1, iterations=1,
+    )
+    fits = table1.verify(rows)
+    assert fits["alp_comm_exponent"] == pytest.approx(1.0, abs=0.05)
+    assert fits["ref_comm_exponent"] == pytest.approx(2.0 / 3.0, abs=0.1)
+    assert fits["work_balance"] <= 1.1
+    for row in rows:
+        assert row.alp_comm_values == pytest.approx(row.alp_formula, rel=0.01)
+        assert row.alp_syncs_per_mxv == 1.0
+        assert row.ref_syncs_per_mxv == 1.0
+    print()
+    print(table1.render(rows))

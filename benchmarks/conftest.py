@@ -1,0 +1,30 @@
+"""Shared fixtures for the benchmark harness.
+
+Every paper table/figure has a ``bench_*`` module here; each both
+*times* the regeneration (pytest-benchmark) and *asserts* the paper's
+shape claims, so ``pytest benchmarks/ --benchmark-only`` doubles as the
+reproduction check.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hpcg.problem import generate_problem
+
+
+@pytest.fixture(scope="session")
+def problem16():
+    return generate_problem(16)
+
+
+@pytest.fixture(scope="session")
+def problem8():
+    return generate_problem(8)
+
+
+@pytest.fixture(scope="session")
+def rhs16(problem16):
+    rng = np.random.default_rng(42)
+    return rng.standard_normal(problem16.n)

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Smoother study: why HPCG-on-GraphBLAS uses Red-Black Gauss-Seidel.
+
+The paper replaces HPCG's inherently sequential symmetric Gauss-Seidel
+with a multi-colour relaxation.  That trade has two sides:
+
+* *cost*: RBGS relaxes dependencies, so CG needs a few extra iterations
+  versus exact SYMGS;
+* *benefit*: all points of a colour update in parallel (here:
+  vectorised), and exactly 8 colours suffice for the 27-point stencil.
+
+This script measures both sides, and verifies the property that makes
+the substitution legal per the HPCG spec: the smoother stays symmetric.
+
+Usage::
+
+    python examples/smoother_study.py [nx]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import graphblas as grb
+from repro.hpcg import (
+    MGPreconditioner,
+    build_hierarchy,
+    generate_problem,
+    greedy_coloring,
+    num_colors,
+    pcg,
+    validate,
+)
+from repro.hpcg.smoothers import JacobiSmoother
+from repro.ref.cg import ref_pcg
+from repro.ref.multigrid import RefMGPreconditioner, build_ref_hierarchy
+
+
+def main() -> None:
+    nx = int(sys.argv[1]) if len(sys.argv) > 1 else 16
+    tol = 1e-8
+    levels = 3
+
+    problem = generate_problem(nx)
+    colors = greedy_coloring(problem.A)
+    counts = np.bincount(colors)
+    print(f"greedy colouring on the {nx}^3 stencil: "
+          f"{num_colors(colors)} colours "
+          f"(sizes {counts.min()}..{counts.max()})")
+
+    rows = []
+
+    # RBGS (the paper's choice)
+    hierarchy = build_hierarchy(problem, levels=levels)
+    precond = MGPreconditioner(hierarchy)
+    report = validate(problem.A, precond)
+    x = problem.x0.dup()
+    res = pcg(problem.A, problem.b, x, preconditioner=precond,
+              max_iters=300, tolerance=tol)
+    rows.append(("RBGS (GraphBLAS)", res.iterations,
+                 f"symmetry err {report.precond_error:.1e}"))
+
+    # exact sequential SYMGS (reference smoother)
+    ref_h = build_ref_hierarchy(problem, levels=levels, smoother="symgs")
+    xr = problem.x0.to_dense()
+    res_sgs = ref_pcg(problem.A.to_scipy(), problem.b.to_dense(), xr,
+                      preconditioner=RefMGPreconditioner(ref_h),
+                      max_iters=300, tolerance=tol)
+    rows.append(("SYMGS (sequential)", res_sgs.iterations, "exact GS order"))
+
+    # damped Jacobi (fully parallel, weaker)
+    jac_h = build_hierarchy(problem, levels=levels,
+                            smoother_factory=lambda A, d, c: JacobiSmoother(A, d))
+    xj = problem.x0.dup()
+    res_j = pcg(problem.A, problem.b, xj,
+                preconditioner=MGPreconditioner(jac_h),
+                max_iters=300, tolerance=tol)
+    rows.append(("damped Jacobi", res_j.iterations, "no colouring needed"))
+
+    print(f"\nCG iterations to {tol:g}:")
+    for name, iters, note in rows:
+        print(f"  {name:<20} {iters:>4}   ({note})")
+
+    print("\ntakeaway: RBGS sits between exact SYMGS and Jacobi in")
+    print("convergence, but unlike SYMGS every colour is data-parallel —")
+    print("the trade the paper makes to express HPCG in GraphBLAS.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""repro — HPCG on GraphBLAS, reproduced in Python.
+
+This package reproduces *"Effective implementation of the High Performance
+Conjugate Gradient benchmark on GraphBLAS"* (Scolari & Yzelman, 2023,
+arXiv:2304.08232).  It contains:
+
+``repro.graphblas``
+    A from-scratch GraphBLAS implementation (opaque containers, algebraic
+    operator/monoid/semiring objects, descriptors, and the standard
+    operation set) playing the role of ALP/GraphBLAS in the paper.
+``repro.grid`` / ``repro.hpcg``
+    The HPCG benchmark expressed on top of the GraphBLAS API: problem
+    generation, greedy colouring, the Red-Black Gauss-Seidel smoother,
+    multigrid preconditioner, the CG solver, and an official-style driver.
+``repro.ref``
+    The comparison baseline ("Ref" in the paper): reference-HPCG-style
+    kernels working directly on CSR storage, with the exact sequential
+    symmetric Gauss-Seidel smoother.
+``repro.dist``
+    A simulated distributed-memory substrate: data partitions (1D
+    block-cyclic for the ALP hybrid backend, geometric 3D for Ref),
+    communication-volume tracking and a BSP cost model.
+``repro.perf`` / ``repro.experiments``
+    Machine models of the paper's two systems (Table II), the analytic
+    shared-memory scaling model, and regenerators for Table I and
+    Figures 1-7.
+
+Quickstart::
+
+    from repro.hpcg import run_hpcg
+    result = run_hpcg(nx=16, ny=16, nz=16, max_iters=50)
+    print(result.summary())
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,22 @@
+"""Regenerators for every table and figure of the paper's evaluation.
+
+Each module exposes a ``run(...)`` function returning structured data
+and a ``render(...)`` producing the printable table/series.  The CLI
+(``python -m repro.experiments <name>`` or ``repro-experiments``)
+dispatches by experiment id: ``table1``, ``table2``, ``fig1`` ...
+``fig7``, ``ablations``.
+"""
+
+from repro.experiments import (
+    ablations,
+    convergence,
+    fig1,
+    fig2,
+    fig3,
+    fig4_7,
+    table1,
+    table2,
+)
+
+__all__ = ["table1", "table2", "fig1", "fig2", "fig3", "fig4_7",
+           "ablations", "convergence"]

@@ -1,0 +1,117 @@
+"""CLI dispatcher: ``python -m repro.experiments <id> [options]``.
+
+Experiment ids: ``table1``, ``table2``, ``fig1``, ``fig2``, ``fig3``,
+``fig4``, ``fig5``, ``fig6``, ``fig7``, ``ablations``, ``all``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import (
+    ablations,
+    convergence,
+    fig1,
+    fig2,
+    fig3,
+    fig4_7,
+    table1,
+    table2,
+)
+
+
+def _run_table1(args) -> str:
+    rows = table1.run(local_sizes=tuple(args.table1_sizes),
+                      procs=tuple(args.table1_procs))
+    return table1.render(rows)
+
+
+def _run_table2(args) -> str:
+    return table2.render(table2.run())
+
+
+def _run_fig1(args) -> str:
+    return fig1.render(fig1.run(nx=args.nx, iterations=args.iters))
+
+
+def _run_fig2(args) -> str:
+    return fig2.render(fig2.run(nx=args.nx, iterations=args.iters))
+
+
+def _run_fig3(args) -> str:
+    # fig3 needs a realistically sized per-node grid for the allgather
+    # term to dominate the barrier floor (see fig3.shape_claims).
+    local_nx = max(args.local_nx, 24)
+    return fig3.render(fig3.run(local_nx=local_nx, iterations=args.iters))
+
+
+def _run_fig4(args) -> str:
+    return fig4_7.render(fig4_7.run_fig4(nx=args.nx, iterations=args.iters))
+
+
+def _run_fig5(args) -> str:
+    return fig4_7.render(fig4_7.run_fig5(nx=args.nx, iterations=args.iters))
+
+
+def _run_fig6(args) -> str:
+    return fig4_7.render(fig4_7.run_fig6(local_nx=args.local_nx,
+                                         iterations=args.iters))
+
+
+def _run_fig7(args) -> str:
+    return fig4_7.render(fig4_7.run_fig7(local_nx=args.local_nx,
+                                         iterations=args.iters))
+
+
+def _run_ablations(args) -> str:
+    return ablations.render(ablations.run(local_nx=args.local_nx))
+
+
+def _run_convergence(args) -> str:
+    return convergence.render(convergence.run(nx=8, iterations=args.iters))
+
+
+_DISPATCH = {
+    "table1": _run_table1,
+    "table2": _run_table2,
+    "fig1": _run_fig1,
+    "fig2": _run_fig2,
+    "fig3": _run_fig3,
+    "fig4": _run_fig4,
+    "fig5": _run_fig5,
+    "fig6": _run_fig6,
+    "fig7": _run_fig7,
+    "ablations": _run_ablations,
+    "convergence": _run_convergence,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("experiment", choices=list(_DISPATCH) + ["all"])
+    parser.add_argument("--nx", type=int, default=16,
+                        help="shared-memory problem edge size")
+    parser.add_argument("--local-nx", type=int, default=16,
+                        help="per-node problem edge size (distributed)")
+    parser.add_argument("--iters", type=int, default=3,
+                        help="CG iterations per measurement")
+    parser.add_argument("--table1-sizes", type=int, nargs="+",
+                        default=[8, 16, 24])
+    parser.add_argument("--table1-procs", type=int, nargs="+",
+                        default=[2, 4, 8])
+    args = parser.parse_args(argv)
+
+    names = list(_DISPATCH) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        print(_DISPATCH[name](args))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

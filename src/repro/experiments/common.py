@@ -1,0 +1,44 @@
+"""Shared helpers for the experiment regenerators."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Plain-text table with right-aligned numeric columns."""
+    srows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in srows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in srows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def ascii_series(series: Dict[str, List[float]], xs: List, width: int = 50) -> str:
+    """Crude ASCII chart: one bar row per (x, series) pair."""
+    flat = [v for vs in series.values() for v in vs]
+    top = max(flat) if flat else 1.0
+    lines = []
+    for i, x in enumerate(xs):
+        for name, vs in series.items():
+            bar = "#" * max(1, int(round(vs[i] / top * width)))
+            lines.append(f"{str(x):>8} {name:<6} |{bar} {vs[i]:.4g}")
+        lines.append("")
+    return "\n".join(lines)

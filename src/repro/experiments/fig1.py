@@ -1,0 +1,99 @@
+"""Figure 1 — strong scaling of ALP and Ref on the ARM machine.
+
+The paper plots total execution time against application threads
+(16..48 on one socket, 96 on two) for a max-memory problem.  We
+reproduce the *shape* with the scaling model fed by the measured byte
+stream of a real serial run:
+
+* ALP below Ref at every point;
+* ALP saturates with few threads (nearly flat curve);
+* Ref improves to about one NUMA domain's cores, then slightly degrades
+  toward the full socket (NUMA-unaware allocations, two domains per
+  socket on Kunpeng 920);
+* both drop again at 96 threads / two sockets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.experiments.common import ascii_series, format_table
+from repro.hpcg.problem import generate_problem
+from repro.perf import (
+    ALP_PROFILE,
+    ARM,
+    REF_PROFILE,
+    ScalingModel,
+    collect_op_stream,
+    packed_placement,
+    ref_stream_from_alp,
+)
+
+THREADS = (16, 20, 24, 28, 32, 36, 40, 44, 48, 96)
+
+
+@dataclass
+class Fig1Result:
+    threads: List[int]
+    alp_seconds: List[float]
+    ref_seconds: List[float]
+    nx: int
+
+    def shape_claims(self) -> Dict[str, bool]:
+        alp, ref = self.alp_seconds, self.ref_seconds
+        one_socket = [t for t in self.threads if t <= 48]
+        i48 = self.threads.index(48)
+        i_mid = self.threads.index(28)
+        return {
+            "alp_below_ref_everywhere": all(a < r for a, r in zip(alp, ref)),
+            # saturation: ALP's relative improvement 16->48 is small
+            "alp_saturates_early": (alp[0] - alp[i48]) / alp[0] < 0.25,
+            # Ref dips then degrades toward the full socket
+            "ref_degrades_near_full_socket": ref[i48] > ref[i_mid],
+            "two_sockets_faster": self.alp_seconds[-1] < alp[i48]
+            and self.ref_seconds[-1] < ref[i48],
+            "_one_socket_points": len(one_socket) == 9,
+        }
+
+
+def run(nx: int = 16, iterations: int = 5, mg_levels: int = 4,
+        stream: Optional[Dict[str, float]] = None) -> Fig1Result:
+    """Collect the op stream once, then model each thread placement."""
+    if stream is None:
+        problem = generate_problem(nx)
+        stream = collect_op_stream(problem, mg_levels=mg_levels,
+                                   iterations=iterations)
+    ref_stream = ref_stream_from_alp(stream)
+    alp_model = ScalingModel(ARM, ALP_PROFILE)
+    ref_model = ScalingModel(ARM, REF_PROFILE)
+    alp_s, ref_s = [], []
+    for t in THREADS:
+        placement = packed_placement(ARM, t)
+        alp_s.append(alp_model.total_time(stream, placement))
+        ref_s.append(ref_model.total_time(ref_stream, placement))
+    return Fig1Result(list(THREADS), alp_s, ref_s, nx)
+
+
+def render(result: Fig1Result) -> str:
+    table = format_table(
+        ["threads", "ALP (s)", "Ref (s)", "Ref/ALP"],
+        [
+            (t, a, r, r / a)
+            for t, a, r in zip(result.threads, result.alp_seconds,
+                               result.ref_seconds)
+        ],
+    )
+    chart = ascii_series(
+        {"ALP": result.alp_seconds, "Ref": result.ref_seconds},
+        result.threads,
+    )
+    claims = result.shape_claims()
+    claims_text = "\n".join(
+        f"  [{'ok' if v else 'FAIL'}] {k}" for k, v in claims.items()
+        if not k.startswith("_")
+    )
+    return (
+        f"Figure 1 — strong scaling on ARM (modelled, nx={result.nx})\n"
+        + table + "\n\n" + chart + "shape claims:\n" + claims_text
+    )

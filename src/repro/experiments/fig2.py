@@ -1,0 +1,98 @@
+"""Figure 2 — strong scaling of ALP and Ref on the x86 machine.
+
+Thread placements follow the paper's x axis: 10..22 threads on one
+socket (physical cores), "44 - 1S" (one socket with hyperthreads), 44
+on two sockets, and "88 - 2S" (both sockets, hyperthreads).
+
+Shape claims: ALP wins everywhere; at "44 - 1S" Ref gets close to ALP
+(it saturates only with hyperthreading — paper Section V-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.common import ascii_series, format_table
+from repro.hpcg.problem import generate_problem
+from repro.perf import (
+    ALP_PROFILE,
+    REF_PROFILE,
+    Placement,
+    ScalingModel,
+    X86,
+    collect_op_stream,
+    ref_stream_from_alp,
+)
+
+# (label, threads, sockets) following the paper's x axis.
+PLACEMENTS: Tuple[Tuple[str, int, int], ...] = (
+    ("10", 10, 1),
+    ("14", 14, 1),
+    ("18", 18, 1),
+    ("22", 22, 1),
+    ("44 - 1S", 44, 1),
+    ("44", 44, 2),
+    ("88 - 2S", 88, 2),
+)
+
+
+@dataclass
+class Fig2Result:
+    labels: List[str]
+    alp_seconds: List[float]
+    ref_seconds: List[float]
+    nx: int
+
+    def shape_claims(self) -> Dict[str, bool]:
+        alp, ref = self.alp_seconds, self.ref_seconds
+        i22 = self.labels.index("22")
+        i44_1s = self.labels.index("44 - 1S")
+        ratio_22 = ref[i22] / alp[i22]
+        ratio_44_1s = ref[i44_1s] / alp[i44_1s]
+        return {
+            "alp_below_ref_everywhere": all(a < r for a, r in zip(alp, ref)),
+            "hyperthreads_help_ref": ref[i44_1s] < ref[i22],
+            "close_at_44_1s": ratio_44_1s < ratio_22 and ratio_44_1s < 1.25,
+        }
+
+
+def run(nx: int = 16, iterations: int = 5, mg_levels: int = 4,
+        stream: Optional[Dict[str, float]] = None) -> Fig2Result:
+    if stream is None:
+        problem = generate_problem(nx)
+        stream = collect_op_stream(problem, mg_levels=mg_levels,
+                                   iterations=iterations)
+    ref_stream = ref_stream_from_alp(stream)
+    alp_model = ScalingModel(X86, ALP_PROFILE)
+    ref_model = ScalingModel(X86, REF_PROFILE)
+    labels, alp_s, ref_s = [], [], []
+    for label, threads, sockets in PLACEMENTS:
+        placement = Placement(threads, sockets)
+        labels.append(label)
+        alp_s.append(alp_model.total_time(stream, placement))
+        ref_s.append(ref_model.total_time(ref_stream, placement))
+    return Fig2Result(labels, alp_s, ref_s, nx)
+
+
+def render(result: Fig2Result) -> str:
+    table = format_table(
+        ["threads", "ALP (s)", "Ref (s)", "Ref/ALP"],
+        [
+            (lbl, a, r, r / a)
+            for lbl, a, r in zip(result.labels, result.alp_seconds,
+                                 result.ref_seconds)
+        ],
+    )
+    chart = ascii_series(
+        {"ALP": result.alp_seconds, "Ref": result.ref_seconds},
+        result.labels,
+    )
+    claims = result.shape_claims()
+    claims_text = "\n".join(
+        f"  [{'ok' if v else 'FAIL'}] {k}" for k, v in claims.items()
+    )
+    return (
+        f"Figure 2 — strong scaling on x86 (modelled, nx={result.nx})\n"
+        + table + "\n\n" + chart + "shape claims:\n" + claims_text
+    )

@@ -1,0 +1,187 @@
+"""Figures 4-7 — per-MG-level time breakdown: RBGS vs restrict/refine.
+
+All four figures plot, per compute size (threads or nodes) and per MG
+level, the percentage of *total* execution time spent in the RBGS
+smoother (bright bars) and in restriction/refinement (dark bars):
+
+* Fig 4: shared-memory ALP on ARM   (modelled from the measured stream)
+* Fig 5: shared-memory Ref on ARM
+* Fig 6: distributed ALP            (from the simulated hybrid backend)
+* Fig 7: distributed Ref            (from the simulated 3D backend)
+
+Shape claims from the paper's Section V-C:
+
+* MG accounts for 80-90% of total time; RBGS alone always > 50%;
+* distributed ALP spends a visibly larger share in refine/restrict than
+  distributed Ref (mxv-with-synchronisation vs local index copy);
+* distributed Ref spends a slightly larger share in RBGS than
+  distributed ALP (per-colour neighbour synchronisation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.dist import HybridALPRun, RefDistRun, factor3
+from repro.experiments.common import format_table
+from repro.hpcg.problem import generate_problem
+from repro.perf import (
+    ALP_PROFILE,
+    ARM,
+    REF_PROFILE,
+    ScalingModel,
+    collect_op_stream,
+    packed_placement,
+    ref_stream_from_alp,
+)
+
+SHARED_THREADS = (16, 20, 24, 28, 32, 36, 40, 44, 48, 96)
+DIST_NODES = (2, 3, 4, 5, 6, 7)
+
+
+@dataclass
+class Breakdown:
+    """One figure's data: per x-value, per level, two shares."""
+
+    figure: str
+    xs: List          # thread counts or node counts
+    levels: int
+    # share[x_index][level] -> {"rbgs": f, "restrict_refine": f}
+    shares: List[List[Dict[str, float]]]
+    mg_share: List[float]     # MG total share per x
+    rbgs_share: List[float]   # aggregated RBGS share per x
+
+    def shape_claims(self) -> Dict[str, bool]:
+        return {
+            "mg_dominates_total": all(0.70 <= s <= 0.97 for s in self.mg_share),
+            "rbgs_above_half": all(s > 0.50 for s in self.rbgs_share),
+        }
+
+
+def _stream_breakdown(stream: Dict[str, float], model: ScalingModel,
+                      placement, levels: int) -> Tuple[List[Dict[str, float]], float, float]:
+    """Per-level shares for a modelled shared-memory run."""
+    times = model.kernel_times(stream, placement)
+    total = sum(times.values()) or 1.0
+    per_level = []
+    mg_time = 0.0
+    rbgs_time = 0.0
+    for lvl in range(levels):
+        rbgs = times.get(f"rbgs@L{lvl}", 0.0)
+        rr = times.get(f"restrict@L{lvl}", 0.0) + times.get(f"refine@L{lvl}", 0.0)
+        mg_time += rbgs + rr + times.get(f"mg_spmv@L{lvl}", 0.0)
+        rbgs_time += rbgs
+        per_level.append({"rbgs": rbgs / total, "restrict_refine": rr / total})
+    return per_level, mg_time / total, rbgs_time / total
+
+
+def run_fig4(nx: int = 16, iterations: int = 5, mg_levels: int = 4,
+             stream: Optional[Dict[str, float]] = None) -> Breakdown:
+    """Shared-memory ALP on ARM."""
+    if stream is None:
+        stream = collect_op_stream(generate_problem(nx), mg_levels, iterations)
+    model = ScalingModel(ARM, ALP_PROFILE)
+    return _shared_breakdown("fig4", stream, model, mg_levels)
+
+
+def run_fig5(nx: int = 16, iterations: int = 5, mg_levels: int = 4,
+             stream: Optional[Dict[str, float]] = None) -> Breakdown:
+    """Shared-memory Ref on ARM."""
+    if stream is None:
+        stream = collect_op_stream(generate_problem(nx), mg_levels, iterations)
+    model = ScalingModel(ARM, REF_PROFILE)
+    return _shared_breakdown("fig5", ref_stream_from_alp(stream), model, mg_levels)
+
+
+def _shared_breakdown(figure: str, stream: Dict[str, float],
+                      model: ScalingModel, mg_levels: int) -> Breakdown:
+    shares, mg_share, rbgs_share = [], [], []
+    for t in SHARED_THREADS:
+        placement = packed_placement(ARM, t)
+        per_level, mg, rbgs = _stream_breakdown(stream, model, placement, mg_levels)
+        shares.append(per_level)
+        mg_share.append(mg)
+        rbgs_share.append(rbgs)
+    return Breakdown(figure, list(SHARED_THREADS), mg_levels, shares,
+                     mg_share, rbgs_share)
+
+
+def _dist_breakdown(figure: str, runs) -> Breakdown:
+    shares, mg_share, rbgs_share = [], [], []
+    xs = []
+    levels = runs[0].mg_levels
+    for res in runs:
+        xs.append(res.nprocs)
+        per_level = [
+            {"rbgs": row["rbgs"], "restrict_refine": row["restrict_refine"]}
+            for row in res.mg_level_breakdown()
+        ]
+        shares.append(per_level)
+        total = res.modelled_seconds or 1.0
+        mg_share.append(res.timers.total("mg/") / total)
+        rbgs_share.append(
+            sum(res.timers.total(f"mg/L{i}/rbgs") for i in range(levels)) / total
+        )
+    return Breakdown(figure, xs, levels, shares, mg_share, rbgs_share)
+
+
+def run_fig6(local_nx: int = 16, iterations: int = 3, mg_levels: int = 4,
+             nodes: Tuple[int, ...] = DIST_NODES) -> Breakdown:
+    """Distributed ALP breakdown."""
+    runs = []
+    for p in nodes:
+        px, py, pz = factor3(p)
+        problem = generate_problem(local_nx * px, local_nx * py, local_nx * pz)
+        runs.append(HybridALPRun(problem, nprocs=p, mg_levels=mg_levels)
+                    .run_cg(max_iters=iterations))
+    return _dist_breakdown("fig6", runs)
+
+
+def run_fig7(local_nx: int = 16, iterations: int = 3, mg_levels: int = 4,
+             nodes: Tuple[int, ...] = DIST_NODES) -> Breakdown:
+    """Distributed Ref breakdown."""
+    runs = []
+    for p in nodes:
+        px, py, pz = factor3(p)
+        problem = generate_problem(local_nx * px, local_nx * py, local_nx * pz)
+        runs.append(RefDistRun(problem, nprocs=p, mg_levels=mg_levels)
+                    .run_cg(max_iters=iterations))
+    return _dist_breakdown("fig7", runs)
+
+
+def cross_figure_claims(fig6: Breakdown, fig7: Breakdown) -> Dict[str, bool]:
+    """Paper Section V-C comparisons between distributed ALP and Ref."""
+    alp_rr = [sum(lvl["restrict_refine"] for lvl in per_x) for per_x in fig6.shares]
+    ref_rr = [sum(lvl["restrict_refine"] for lvl in per_x) for per_x in fig7.shares]
+    return {
+        "alp_restrict_share_exceeds_ref": all(a > r for a, r in zip(alp_rr, ref_rr)),
+        "ref_rbgs_share_exceeds_alp": all(
+            r > a for a, r in zip(fig6.rbgs_share, fig7.rbgs_share)
+        ),
+    }
+
+
+def render(result: Breakdown) -> str:
+    headers = ["x"] + [
+        f"L{i} {kind}" for i in range(result.levels)
+        for kind in ("rbgs%", "r/r%")
+    ] + ["MG%", "RBGS%"]
+    rows = []
+    for x, per_level, mg, rbgs in zip(result.xs, result.shares,
+                                      result.mg_share, result.rbgs_share):
+        row = [x]
+        for lvl in per_level:
+            row.extend([f"{lvl['rbgs'] * 100:.1f}",
+                        f"{lvl['restrict_refine'] * 100:.1f}"])
+        row.extend([f"{mg * 100:.1f}", f"{rbgs * 100:.1f}"])
+        rows.append(row)
+    claims = result.shape_claims()
+    claims_text = "\n".join(
+        f"  [{'ok' if v else 'FAIL'}] {k}" for k, v in claims.items()
+    )
+    return (
+        f"{result.figure} — % of total time per MG level "
+        f"(rbgs vs restrict/refine)\n"
+        + format_table(headers, rows) + "\nshape claims:\n" + claims_text
+    )

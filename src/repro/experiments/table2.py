@@ -1,0 +1,20 @@
+"""Table II — the experimental machines (encoded constants)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.experiments.common import format_table
+from repro.perf.machine import table2_rows
+
+
+def run() -> List[Dict[str, str]]:
+    return table2_rows()
+
+
+def render(rows: List[Dict[str, str]]) -> str:
+    table = format_table(
+        ["", "x86", "ARM"],
+        [(r["field"], r["x86"], r["ARM"]) for r in rows],
+    )
+    return "Table II — experimental machines\n" + table

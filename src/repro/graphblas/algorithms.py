@@ -1,0 +1,172 @@
+"""Classic graph algorithms on the GraphBLAS substrate.
+
+The paper's premise (Section II-H) is that one small set of algebraic
+primitives serves a large family of sparse workloads.  HPCG is the
+paper's subject; this module demonstrates the breadth with textbook
+GraphBLAS formulations of BFS, SSSP, PageRank, triangle counting and
+connected components — each a different semiring over the same opaque
+containers.  They double as system tests of the substrate's generic
+(non-plus-times) execution paths.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.graphblas import descriptor as desc_mod
+from repro.graphblas import ops, semiring
+from repro.graphblas.matrix import Matrix
+from repro.graphblas.monoid import max_monoid, plus_monoid
+from repro.graphblas.operations import (
+    apply,
+    assign,
+    dot,
+    ewise_add,
+    ewise_mult,
+    mxm,
+    mxv,
+    reduce,
+    reduce_matrix,
+    vxm,
+    waxpby,
+)
+from repro.graphblas.vector import Vector
+from repro.util.errors import DimensionMismatch, InvalidValue
+
+
+def _check_square(A: Matrix) -> int:
+    if A.nrows != A.ncols:
+        raise InvalidValue(f"graph algorithms need a square matrix, got {A.shape}")
+    return A.nrows
+
+
+def bfs_levels(A: Matrix, source: int) -> np.ndarray:
+    """BFS levels from ``source`` over the lor-land semiring.
+
+    Edges follow rows→columns (``A[i, j]`` is an edge i→j).  Unreached
+    vertices get level −1.
+    """
+    n = _check_square(A)
+    if not 0 <= source < n:
+        raise InvalidValue(f"source {source} out of range [0, {n})")
+    levels = np.full(n, -1, dtype=np.int64)
+    levels[source] = 0
+    frontier = Vector.from_coo([source], [True], n, dtype=bool)
+    visited = Vector.from_coo([source], [True], n, dtype=bool)
+    depth = 0
+    while frontier.nvals:
+        depth += 1
+        nxt = Vector.sparse(n, dtype=bool)
+        vxm(nxt, visited, frontier, A, semiring=semiring.lor_land,
+            desc=desc_mod.structural | desc_mod.invert_mask | desc_mod.replace)
+        idx, _ = nxt.to_coo()
+        if idx.size == 0:
+            break
+        levels[idx] = depth
+        # visited |= nxt
+        ewise_add(visited, None, visited.dup(), nxt, ops.lor)
+        frontier = nxt
+    return levels
+
+
+def sssp(A: Matrix, source: int, max_hops: Optional[int] = None) -> np.ndarray:
+    """Single-source shortest paths (Bellman-Ford) over min-plus.
+
+    Returns distances; unreachable vertices get ``inf``.  Negative
+    cycles are not detected (bounded relaxation).
+    """
+    n = _check_square(A)
+    if not 0 <= source < n:
+        raise InvalidValue(f"source {source} out of range [0, {n})")
+    dist = Vector.dense(n, np.inf)
+    dist.set_element(source, 0.0)
+    hops = max_hops if max_hops is not None else n
+    for _ in range(hops):
+        prev = dist.to_dense(fill=np.inf)
+        relaxed = Vector.dense(n, np.inf)
+        vxm(relaxed, None, dist, A, semiring=semiring.min_plus)
+        ewise_add(dist, None, dist.dup(), relaxed, ops.min_)
+        if np.array_equal(dist.to_dense(fill=np.inf), prev):
+            break
+    return dist.to_dense(fill=np.inf)
+
+
+def pagerank(
+    A: Matrix,
+    damping: float = 0.85,
+    tolerance: float = 1e-8,
+    max_iters: int = 100,
+) -> Tuple[np.ndarray, int]:
+    """PageRank by power iteration, all in GraphBLAS operations.
+
+    ``A[i, j]`` is a link i→j.  Dangling vertices redistribute uniformly.
+    Returns (ranks, iterations).
+    """
+    n = _check_square(A)
+    if not 0 < damping < 1:
+        raise InvalidValue(f"damping must be in (0, 1), got {damping}")
+    # out-degree and the column-stochastic scaling 1/deg per source
+    from repro.graphblas.matrix_ops import reduce_rows
+    degree = Vector.sparse(n)
+    reduce_rows(degree, A, plus_monoid)
+    deg_dense = degree.to_dense(fill=0.0)
+    dangling = deg_dense == 0.0
+    inv_deg = np.where(dangling, 0.0, 1.0 / np.maximum(deg_dense, 1e-300))
+
+    rank = Vector.dense(n, 1.0 / n)
+    scaled = Vector.dense(n)
+    nxt = Vector.dense(n)
+    iterations = 0
+    for k in range(1, max_iters + 1):
+        iterations = k
+        # scaled = rank / degree (0 on dangling)
+        scaled_vals = rank.to_dense() * inv_deg
+        assign(scaled, None, Vector.from_dense(scaled_vals))
+        vxm(nxt, None, scaled, A, semiring=semiring.plus_times)
+        dangling_mass = float(rank.to_dense()[dangling].sum())
+        teleport = (1.0 - damping) / n + damping * dangling_mass / n
+        waxpby(nxt, damping, nxt, 0.0, nxt)
+        # nxt += teleport everywhere
+        shift = Vector.dense(n, teleport)
+        ewise_add(nxt, None, nxt.dup(), shift, ops.plus)
+        delta = float(np.abs(nxt.to_dense() - rank.to_dense()).sum())
+        assign(rank, None, nxt)
+        if delta < tolerance:
+            break
+    return rank.to_dense(), iterations
+
+
+def triangle_count(A: Matrix) -> int:
+    """Number of triangles in an undirected graph (Burkhardt: tr(A³)/6
+    computed as sum(A ⊙ A²)/6, masked to the stored pattern).
+    """
+    n = _check_square(A)
+    AA = Matrix.identity(n)
+    mxm(AA, A, A, A)          # A² masked by A's pattern
+    from repro.graphblas.matrix_ops import ewise_mult_matrix
+    C = Matrix.identity(n)
+    ewise_mult_matrix(C, AA, A, ops.times)
+    total = reduce_matrix(C, plus_monoid)
+    count = int(round(float(total))) // 6
+    return count
+
+
+def connected_components(A: Matrix, max_iters: Optional[int] = None) -> np.ndarray:
+    """Connected components by label propagation over max-second.
+
+    Undirected graph assumed (symmetric pattern).  Returns component
+    labels (the max vertex id in each component).
+    """
+    n = _check_square(A)
+    labels = Vector.from_dense(np.arange(n, dtype=np.float64))
+    limit = max_iters if max_iters is not None else n
+    for _ in range(limit):
+        prev = labels.to_dense()
+        propagated = Vector.sparse(n)
+        mxv(propagated, None, A, labels, semiring=semiring.max_second)
+        ewise_add(labels, None, labels.dup(), propagated, ops.max_)
+        if np.array_equal(labels.to_dense(), prev):
+            break
+    return labels.to_dense().astype(np.int64)

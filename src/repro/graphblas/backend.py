@@ -1,0 +1,97 @@
+"""Execution-backend hooks: operation instrumentation.
+
+Every GraphBLAS operation emits a :class:`PerfEvent` describing the work
+it performed (rows touched, nonzeroes processed, flops, bytes moved).
+By default events are dropped.  The performance layer
+(:mod:`repro.perf`) installs a collector to aggregate them, which is how
+the modelled thread/node scaling figures consume the *actual* op stream
+of a run instead of hand-written formulas.
+
+This mirrors the role of ALP/GraphBLAS "backends": the algorithm code is
+identical regardless of whether events are collected, just as ALP
+programs are identical across its sequential/OpenMP/hybrid backends.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class PerfEvent:
+    """One executed GraphBLAS operation, in machine-independent units."""
+
+    op: str          # operation name, e.g. "mxv", "dot", "ewise_lambda"
+    rows: int        # output rows / elements produced
+    nnz: int         # stored entries processed (0 for dense-only ops)
+    flops: int       # floating-point operations
+    bytes: int       # bytes read + written (useful-traffic lower bound)
+    label: str = ""  # optional caller-provided tag (e.g. "rbgs", "restrict")
+
+
+_collector: Optional[Callable[[PerfEvent], None]] = None
+_label_stack: List[str] = []
+
+
+def record(op: str, rows: int, nnz: int, flops: int, nbytes: int) -> None:
+    """Emit an event to the installed collector (no-op when absent)."""
+    if _collector is not None:
+        label = _label_stack[-1] if _label_stack else ""
+        _collector(PerfEvent(op, rows, nnz, flops, nbytes, label))
+
+
+def active() -> bool:
+    """True when a collector is installed (lets hot paths skip counting)."""
+    return _collector is not None
+
+
+@contextmanager
+def collect(fn: Callable[[PerfEvent], None]) -> Iterator[None]:
+    """Install ``fn`` as the event collector for the dynamic extent."""
+    global _collector
+    prev = _collector
+    _collector = fn
+    try:
+        yield
+    finally:
+        _collector = prev
+
+
+@contextmanager
+def labelled(label: str) -> Iterator[None]:
+    """Tag all events emitted in the dynamic extent with ``label``.
+
+    The HPCG driver wraps each kernel invocation (``rbgs``, ``restrict``,
+    ``spmv``, ...) so breakdown figures can attribute op events to
+    kernels without the GraphBLAS layer knowing about HPCG.
+    """
+    _label_stack.append(label)
+    try:
+        yield
+    finally:
+        _label_stack.pop()
+
+
+class EventLog:
+    """A simple list-backed collector with aggregate helpers."""
+
+    def __init__(self) -> None:
+        self.events: List[PerfEvent] = []
+
+    def __call__(self, event: PerfEvent) -> None:
+        self.events.append(event)
+
+    def total(self, field: str, op: Optional[str] = None, label: Optional[str] = None) -> int:
+        return sum(
+            getattr(e, field)
+            for e in self.events
+            if (op is None or e.op == op) and (label is None or e.label == label)
+        )
+
+    def count(self, op: Optional[str] = None) -> int:
+        return sum(1 for e in self.events if op is None or e.op == op)
+
+    def clear(self) -> None:
+        self.events.clear()

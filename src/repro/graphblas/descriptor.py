@@ -1,0 +1,48 @@
+"""Descriptors: per-call execution modifiers.
+
+The paper relies on two of these (Section IV):
+
+* ``structural`` — the mask's *structure* (which entries exist) is used
+  and the stored values are ignored.  ALP uses it on the colour masks of
+  RBGS so the boolean payloads are never read.
+* ``transpose_matrix`` — the matrix operand is used transposed, which is
+  how refinement reuses the restriction matrix without materialising its
+  transpose.
+
+``invert_mask`` (complement) and ``replace`` (clear output first) round
+out the GraphBLAS descriptor set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as _dc_replace
+
+
+@dataclass(frozen=True)
+class Descriptor:
+    """Immutable bundle of operation modifiers."""
+
+    transpose_matrix: bool = False
+    structural: bool = False
+    invert_mask: bool = False
+    replace: bool = False
+
+    def __or__(self, other: "Descriptor") -> "Descriptor":
+        """Combine two descriptors (union of the set flags)."""
+        return Descriptor(
+            transpose_matrix=self.transpose_matrix or other.transpose_matrix,
+            structural=self.structural or other.structural,
+            invert_mask=self.invert_mask or other.invert_mask,
+            replace=self.replace or other.replace,
+        )
+
+    def with_(self, **kwargs) -> "Descriptor":
+        return _dc_replace(self, **kwargs)
+
+
+default = Descriptor()
+structural = Descriptor(structural=True)
+transpose_matrix = Descriptor(transpose_matrix=True)
+invert_mask = Descriptor(invert_mask=True)
+replace = Descriptor(replace=True)
+structural_transpose = structural | transpose_matrix

@@ -1,0 +1,270 @@
+"""The opaque GraphBLAS matrix container.
+
+Storage is Compressed Sparse Row (CSR) via scipy, the format the paper
+names for reference HPCG (Section III-B).  Two backend caches matter for
+performance and are part of the reproduction's story:
+
+* a lazily-built transposed CSR, so the ``transpose_matrix`` descriptor
+  (used by refinement to reuse the restriction matrix) costs one
+  conversion, not one per call; and
+* per-mask row submatrices keyed by ``(id(mask), mask.version)``.  The
+  RBGS smoother issues a masked ``mxv`` per colour per sweep with the
+  *same* eight colour masks every time; caching the row extraction turns
+  the steady-state masked mxv into a plain CSR product on an eighth of
+  the rows, which is exactly the work the paper's complexity analysis
+  assigns to it (Section III-A).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graphblas import types as gbtypes
+from repro.graphblas.ops import BinaryOp
+from repro.graphblas.vector import Vector
+from repro.util.errors import DimensionMismatch, InvalidValue
+
+_MASK_CACHE_LIMIT = 32
+
+
+class Matrix:
+    """An ``nrows x ncols`` sparse matrix over a predefined domain."""
+
+    __slots__ = ("_csr", "_csr_t", "_mask_cache", "_version")
+
+    def __init__(self, csr: sp.csr_matrix):
+        if not sp.issparse(csr):
+            raise InvalidValue("Matrix wraps a scipy sparse matrix; use from_* constructors")
+        csr = csr.tocsr()
+        csr.sort_indices()
+        gbtypes.as_dtype(csr.dtype)
+        self._csr = csr
+        self._csr_t: Optional[sp.csr_matrix] = None
+        # (id(mask), version) -> (row_indices, row_submatrix)
+        self._mask_cache: Dict[Tuple[int, int], Tuple[np.ndarray, sp.csr_matrix]] = {}
+        self._version = 0
+
+    # --- constructors -----------------------------------------------------
+    @classmethod
+    def from_coo(
+        cls,
+        rows: Iterable[int],
+        cols: Iterable[int],
+        values: Iterable,
+        nrows: int,
+        ncols: int,
+        dtype=None,
+        dup_op: Optional[BinaryOp] = None,
+    ) -> "Matrix":
+        """Build from coordinates; ``dup_op`` combines duplicates.
+
+        Only ``plus``-like (ufunc-backed) dup_ops get the fast path; any
+        other associative op is honoured through a sorted segmented pass.
+        """
+        r = np.asarray(rows, dtype=np.int64)
+        c = np.asarray(cols, dtype=np.int64)
+        v = np.asarray(values)
+        if dtype is not None:
+            v = v.astype(gbtypes.as_dtype(dtype))
+        if not (r.shape == c.shape == v.shape):
+            raise DimensionMismatch("rows, cols, values must have equal length")
+        if r.size:
+            if r.min() < 0 or r.max() >= nrows or c.min() < 0 or c.max() >= ncols:
+                raise InvalidValue("coordinate out of range")
+        key = r * ncols + c
+        has_dups = np.unique(key).size != key.size
+        if has_dups and dup_op is None:
+            raise InvalidValue("duplicate coordinates and no dup_op given")
+        if has_dups and not (dup_op.ufunc is np.add):
+            order = np.argsort(key, kind="stable")
+            key_s, r_s, c_s, v_s = key[order], r[order], c[order], v[order]
+            boundaries = np.flatnonzero(np.diff(key_s)) + 1
+            starts = np.concatenate(([0], boundaries))
+            ends = np.concatenate((boundaries, [key_s.size]))
+            out_vals = np.empty(starts.size, dtype=v.dtype)
+            for i, (s, e) in enumerate(zip(starts, ends)):
+                acc = v_s[s]
+                for k in range(s + 1, e):
+                    acc = dup_op(acc, v_s[k])
+                out_vals[i] = acc
+            coo = sp.coo_matrix((out_vals, (r_s[starts], c_s[starts])), shape=(nrows, ncols))
+        else:
+            # scipy's duplicate handling sums entries, matching plus.
+            coo = sp.coo_matrix((v, (r, c)), shape=(nrows, ncols))
+        return cls(coo.tocsr())
+
+    @classmethod
+    def from_dense(cls, array, dtype=None) -> "Matrix":
+        """Build from a 2-D array; zeros become absent entries."""
+        arr = np.asarray(array)
+        if dtype is not None:
+            arr = arr.astype(gbtypes.as_dtype(dtype))
+        if arr.ndim != 2:
+            raise InvalidValue(f"expected 2-D data, got shape {arr.shape}")
+        return cls(sp.csr_matrix(arr))
+
+    @classmethod
+    def from_scipy(cls, matrix: sp.spmatrix) -> "Matrix":
+        """Wrap (a CSR copy of) an existing scipy sparse matrix."""
+        return cls(sp.csr_matrix(matrix, copy=True))
+
+    @classmethod
+    def identity(cls, n: int, dtype=gbtypes.FP64) -> "Matrix":
+        return cls(sp.identity(n, dtype=gbtypes.as_dtype(dtype), format="csr"))
+
+    # --- properties ----------------------------------------------------------
+    @property
+    def nrows(self) -> int:
+        return self._csr.shape[0]
+
+    @property
+    def ncols(self) -> int:
+        return self._csr.shape[1]
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self._csr.shape
+
+    @property
+    def nvals(self) -> int:
+        return int(self._csr.nnz)
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._csr.dtype
+
+    @property
+    def version(self) -> int:
+        return self._version
+
+    # --- element access ---------------------------------------------------------
+    def extract_element(self, i: int, j: int):
+        """Value at ``(i, j)``; ``None`` when absent.
+
+        Note: GraphBLAS does *not* promise constant time here — this is
+        why HPCG-on-GraphBLAS keeps the diagonal of A in a separate
+        vector (paper Section III-A).
+        """
+        if not (0 <= i < self.nrows and 0 <= j < self.ncols):
+            raise InvalidValue(f"index ({i}, {j}) out of range for {self.shape}")
+        lo, hi = self._csr.indptr[i], self._csr.indptr[i + 1]
+        pos = np.searchsorted(self._csr.indices[lo:hi], j)
+        if pos < hi - lo and self._csr.indices[lo + pos] == j:
+            return self._csr.data[lo + pos].item()
+        return None
+
+    def set_element(self, i: int, j: int, value) -> None:
+        if not (0 <= i < self.nrows and 0 <= j < self.ncols):
+            raise InvalidValue(f"index ({i}, {j}) out of range for {self.shape}")
+        # lil-free update: rebuild the row only when the pattern changes.
+        lo, hi = self._csr.indptr[i], self._csr.indptr[i + 1]
+        pos = np.searchsorted(self._csr.indices[lo:hi], j)
+        if pos < hi - lo and self._csr.indices[lo + pos] == j:
+            self._csr.data[lo + pos] = value
+        else:
+            coo = self._csr.tocoo()
+            rows = np.append(coo.row, i)
+            cols = np.append(coo.col, j)
+            vals = np.append(coo.data, value)
+            self._csr = sp.csr_matrix(
+                (vals, (rows, cols)), shape=self.shape
+            )
+            self._csr.sort_indices()
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        self._csr_t = None
+        self._mask_cache.clear()
+        self._version += 1
+
+    # --- whole-container helpers ---------------------------------------------
+    def dup(self) -> "Matrix":
+        return Matrix(self._csr.copy())
+
+    def resize(self, nrows: int, ncols: int) -> None:
+        """Change the dimensions (GrB_Matrix_resize).
+
+        Growing adds empty space; shrinking drops entries outside the
+        new bounds.
+        """
+        if nrows < 0 or ncols < 0:
+            raise InvalidValue(f"bad dimensions ({nrows}, {ncols})")
+        if (nrows, ncols) == self.shape:
+            return
+        coo = self._csr.tocoo()
+        keep = (coo.row < nrows) & (coo.col < ncols)
+        self._csr = sp.csr_matrix(
+            (coo.data[keep], (coo.row[keep], coo.col[keep])),
+            shape=(nrows, ncols),
+        )
+        self._csr.sort_indices()
+        self._invalidate()
+
+    def transpose(self) -> "Matrix":
+        """A materialised transpose (prefer the transpose descriptor)."""
+        return Matrix(self._csr.T.tocsr())
+
+    def diag(self) -> Vector:
+        """The main diagonal as a vector (absent where not stored)."""
+        n = min(self.nrows, self.ncols)
+        out = Vector.sparse(n, dtype=self.dtype)
+        d = self._csr.diagonal()
+        # Presence: (i, i) stored in the pattern.  scipy's diagonal() cannot
+        # distinguish stored zeros from absent; recover presence from indptr.
+        present = np.zeros(n, dtype=bool)
+        indptr, indices = self._csr.indptr, self._csr.indices
+        for i in range(n):
+            lo, hi = indptr[i], indptr[i + 1]
+            pos = np.searchsorted(indices[lo:hi], i)
+            present[i] = pos < hi - lo and indices[lo + pos] == i
+        out._values[:n] = d
+        out._present[:] = present
+        out._bump()
+        return out
+
+    def to_coo(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        coo = self._csr.tocoo()
+        return coo.row.copy(), coo.col.copy(), coo.data.copy()
+
+    def to_scipy(self, copy: bool = True) -> sp.csr_matrix:
+        """Export the CSR storage.  This is an I/O-level escape hatch.
+
+        Application code built "on GraphBLAS" (the ``repro.hpcg`` layer)
+        must not use it; the Ref implementation (``repro.ref``) does, on
+        purpose — that contrast is the subject of the paper.
+        """
+        return self._csr.copy() if copy else self._csr
+
+    # --- backend caches ----------------------------------------------------------
+    def _transposed_csr(self) -> sp.csr_matrix:
+        if self._csr_t is None:
+            self._csr_t = self._csr.T.tocsr()
+            self._csr_t.sort_indices()
+        return self._csr_t
+
+    def _rows_submatrix(
+        self, mask_key: Tuple, rows: np.ndarray, transpose: bool = False
+    ) -> sp.csr_matrix:
+        """Row extraction ``A[rows, :]`` cached per mask identity+version.
+
+        With ``transpose=True`` the extraction applies to the transposed
+        operand (the ``transpose_matrix`` descriptor path).
+        """
+        key = (*mask_key, transpose)
+        hit = self._mask_cache.get(key)
+        if hit is not None and np.array_equal(hit[0], rows):
+            return hit[1]
+        base = self._transposed_csr() if transpose else self._csr
+        sub = base[rows, :]
+        if len(self._mask_cache) >= _MASK_CACHE_LIMIT:
+            self._mask_cache.pop(next(iter(self._mask_cache)))
+        self._mask_cache[key] = (rows.copy(), sub)
+        return sub
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Matrix(shape={self.shape}, nvals={self.nvals}, dtype={self.dtype})"
+        )

@@ -1,0 +1,264 @@
+"""Matrix-level GraphBLAS operations beyond ``mxm``.
+
+Completes the spec surface for matrices: elementwise union and
+intersection, unary apply, transpose-into, row/column reduction to a
+vector, and submatrix extract/assign.  HPCG itself only needs ``mxm``
+(for permutation sandwiches) and the restriction matrix, but a
+GraphBLAS substrate that cannot do elementwise matrix algebra would not
+be credible as a standalone library — and the test suite uses these
+operations to cross-validate the vector paths.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graphblas import backend
+from repro.graphblas import descriptor as desc_mod
+from repro.graphblas.descriptor import Descriptor
+from repro.graphblas.matrix import Matrix
+from repro.graphblas.monoid import Monoid
+from repro.graphblas.ops import BinaryOp, UnaryOp
+from repro.graphblas.vector import Vector
+from repro.util.errors import DimensionMismatch, InvalidValue
+
+__all__ = [
+    "ewise_add_matrix",
+    "ewise_mult_matrix",
+    "apply_matrix",
+    "transpose_into",
+    "reduce_rows",
+    "reduce_cols",
+    "extract_submatrix",
+    "assign_submatrix",
+    "kronecker",
+]
+
+
+def _coo_of(A: Matrix, transpose: bool):
+    base = A._transposed_csr() if transpose else A._csr
+    coo = base.tocoo()
+    return coo.row.astype(np.int64), coo.col.astype(np.int64), coo.data
+
+
+def ewise_add_matrix(
+    C: Matrix,
+    A: Matrix,
+    B: Matrix,
+    op: BinaryOp,
+    desc: Descriptor = desc_mod.default,
+) -> Matrix:
+    """Union elementwise over matrices: ``op`` where both, copy where one."""
+    a_shape = (A.ncols, A.nrows) if desc.transpose_matrix else A.shape
+    if a_shape != B.shape:
+        raise DimensionMismatch(f"ewise_add_matrix: {a_shape} vs {B.shape}")
+    ar, ac, av = _coo_of(A, desc.transpose_matrix)
+    br, bc, bv = _coo_of(B, False)
+    ncols = B.ncols
+    a_keys = ar * ncols + ac
+    b_keys = br * ncols + bc
+    both_keys, a_pos, b_pos = np.intersect1d(
+        a_keys, b_keys, assume_unique=True, return_indices=True
+    )
+    only_a = np.setdiff1d(np.arange(a_keys.size), a_pos, assume_unique=True)
+    only_b = np.setdiff1d(np.arange(b_keys.size), b_pos, assume_unique=True)
+    out_keys = np.concatenate((both_keys, a_keys[only_a], b_keys[only_b]))
+    merged = (
+        op.vectorized(av[a_pos], bv[b_pos])
+        if both_keys.size
+        else np.empty(0, dtype=np.result_type(av.dtype, bv.dtype))
+    )
+    out_vals = np.concatenate((merged, av[only_a], bv[only_b]))
+    rows, cols = np.divmod(out_keys, ncols)
+    out = sp.csr_matrix((out_vals, (rows, cols)), shape=B.shape)
+    out.sort_indices()
+    if backend.active():
+        backend.record("ewise_add_matrix", B.nrows, int(out.nnz),
+                       int(both_keys.size), int(out.nnz) * 16)
+    C._csr = out
+    C._invalidate()
+    return C
+
+
+def ewise_mult_matrix(
+    C: Matrix,
+    A: Matrix,
+    B: Matrix,
+    op: BinaryOp,
+    desc: Descriptor = desc_mod.default,
+) -> Matrix:
+    """Intersection elementwise over matrices."""
+    a_shape = (A.ncols, A.nrows) if desc.transpose_matrix else A.shape
+    if a_shape != B.shape:
+        raise DimensionMismatch(f"ewise_mult_matrix: {a_shape} vs {B.shape}")
+    ar, ac, av = _coo_of(A, desc.transpose_matrix)
+    br, bc, bv = _coo_of(B, False)
+    ncols = B.ncols
+    a_keys = ar * ncols + ac
+    b_keys = br * ncols + bc
+    both_keys, a_pos, b_pos = np.intersect1d(
+        a_keys, b_keys, assume_unique=True, return_indices=True
+    )
+    vals = (
+        op.vectorized(av[a_pos], bv[b_pos])
+        if both_keys.size
+        else np.empty(0, dtype=np.result_type(av.dtype, bv.dtype))
+    )
+    rows, cols = np.divmod(both_keys, ncols)
+    out = sp.csr_matrix((vals, (rows, cols)), shape=B.shape)
+    out.sort_indices()
+    if backend.active():
+        backend.record("ewise_mult_matrix", B.nrows, int(out.nnz),
+                       int(both_keys.size), int(out.nnz) * 16)
+    C._csr = out
+    C._invalidate()
+    return C
+
+
+def apply_matrix(C: Matrix, op: UnaryOp, A: Matrix,
+                 desc: Descriptor = desc_mod.default) -> Matrix:
+    """``C = op(A)`` elementwise over A's pattern."""
+    base = A._transposed_csr() if desc.transpose_matrix else A._csr
+    out = base.copy()
+    out.data = op.vectorized(out.data)
+    if backend.active():
+        backend.record("apply_matrix", out.shape[0], int(out.nnz),
+                       int(out.nnz), int(out.nnz) * 16)
+    C._csr = out
+    C._invalidate()
+    return C
+
+
+def transpose_into(C: Matrix, A: Matrix) -> Matrix:
+    """``C = A'`` (GrB_transpose).  Prefer the descriptor for products."""
+    out = A._transposed_csr().copy()
+    if backend.active():
+        backend.record("transpose", out.shape[0], int(out.nnz), 0,
+                       int(out.nnz) * 16)
+    C._csr = out
+    C._invalidate()
+    return C
+
+
+def reduce_rows(w: Vector, A: Matrix, monoid: Monoid,
+                desc: Descriptor = desc_mod.default) -> Vector:
+    """``w[i] = fold(A[i, :])`` — matrix-to-vector reduction.
+
+    With the transpose descriptor this reduces columns instead.  Rows
+    with no entries produce no output entry (GraphBLAS semantics).
+    """
+    base = A._transposed_csr() if desc.transpose_matrix else A._csr
+    if w.size != base.shape[0]:
+        raise DimensionMismatch(
+            f"reduce_rows output size {w.size} != rows {base.shape[0]}"
+        )
+    reduced = monoid.segment_reduce(base.data, base.indptr.astype(np.int64))
+    present = np.diff(base.indptr) > 0
+    w._values[:] = 0
+    w._values[present] = np.asarray(reduced)[present]
+    w._present[:] = present
+    w._bump()
+    if backend.active():
+        backend.record("reduce_rows", base.shape[0], int(base.nnz),
+                       int(base.nnz), int(base.nnz) * 12)
+    return w
+
+
+def reduce_cols(w: Vector, A: Matrix, monoid: Monoid) -> Vector:
+    """``w[j] = fold(A[:, j])`` — convenience for the transpose form."""
+    return reduce_rows(w, A, monoid, desc=desc_mod.transpose_matrix)
+
+
+def kronecker(C: Matrix, A: Matrix, B: Matrix, op: BinaryOp) -> Matrix:
+    """``C = A ⊗ B`` under ``op`` (GrB_kronecker).
+
+    The conventional (times) Kronecker product generalised: entry
+    ``C[i*bm + k, j*bn + l] = op(A[i, j], B[k, l])`` over the pattern
+    product.  Useful for building structured operators — e.g. a 3D
+    stencil is a Kronecker sum of 1D stencils.
+    """
+    ar, ac, av = _coo_of(A, False)
+    br, bc, bv = _coo_of(B, False)
+    bm, bn = B.shape
+    rows = (ar[:, None] * bm + br[None, :]).ravel()
+    cols = (ac[:, None] * bn + bc[None, :]).ravel()
+    vals = op.vectorized(
+        np.repeat(av, bv.size), np.tile(bv, av.size)
+    )
+    out = sp.csr_matrix(
+        (vals, (rows, cols)), shape=(A.nrows * bm, A.ncols * bn)
+    )
+    out.sort_indices()
+    if backend.active():
+        backend.record("kronecker", out.shape[0], int(out.nnz),
+                       int(out.nnz), int(out.nnz) * 16)
+    C._csr = out
+    C._invalidate()
+    return C
+
+
+def extract_submatrix(
+    C: Matrix,
+    A: Matrix,
+    rows: Sequence[int],
+    cols: Optional[Sequence[int]] = None,
+) -> Matrix:
+    """``C = A[rows, cols]`` (GrB_Matrix_extract)."""
+    r = np.asarray(rows, dtype=np.int64)
+    c = np.arange(A.ncols, dtype=np.int64) if cols is None else np.asarray(
+        cols, dtype=np.int64
+    )
+    if r.size and (r.min() < 0 or r.max() >= A.nrows):
+        raise InvalidValue("row index out of range")
+    if c.size and (c.min() < 0 or c.max() >= A.ncols):
+        raise InvalidValue("column index out of range")
+    out = A._csr[r, :][:, c].tocsr()
+    out.sort_indices()
+    if backend.active():
+        backend.record("extract_matrix", r.size, int(out.nnz), 0,
+                       int(out.nnz) * 16)
+    C._csr = out
+    C._invalidate()
+    return C
+
+
+def assign_submatrix(
+    C: Matrix,
+    A: Matrix,
+    rows: Sequence[int],
+    cols: Sequence[int],
+) -> Matrix:
+    """``C[rows, cols] = A`` (GrB_Matrix_assign), pattern-replacing.
+
+    The targeted block's old entries are removed; A's entries take
+    their place.  Entries of C outside the block are untouched.
+    """
+    r = np.asarray(rows, dtype=np.int64)
+    c = np.asarray(cols, dtype=np.int64)
+    if (r.size, c.size) != A.shape:
+        raise DimensionMismatch(
+            f"assign block {r.size}x{c.size} != source {A.shape}"
+        )
+    if r.size and (r.min() < 0 or r.max() >= C.nrows):
+        raise InvalidValue("row index out of range")
+    if c.size and (c.min() < 0 or c.max() >= C.ncols):
+        raise InvalidValue("column index out of range")
+    base = C._csr.tocoo()
+    in_rows = np.isin(base.row, r)
+    in_cols = np.isin(base.col, c)
+    keep = ~(in_rows & in_cols)
+    src = A._csr.tocoo()
+    new_rows = np.concatenate((base.row[keep], r[src.row]))
+    new_cols = np.concatenate((base.col[keep], c[src.col]))
+    new_vals = np.concatenate((base.data[keep], src.data))
+    out = sp.csr_matrix((new_vals, (new_rows, new_cols)), shape=C.shape)
+    out.sort_indices()
+    if backend.active():
+        backend.record("assign_matrix", r.size, int(src.nnz), 0,
+                       int(src.nnz) * 16)
+    C._csr = out
+    C._invalidate()
+    return C

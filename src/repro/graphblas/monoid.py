@@ -1,0 +1,93 @@
+"""Monoids: an associative, commutative binary operator plus its identity.
+
+Monoids drive reductions (``reduce``, and the additive part of a
+semiring).  The identity element is what a reduction of an empty set
+returns, and what masked/absent positions contribute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.graphblas import ops
+from repro.graphblas.ops import BinaryOp
+from repro.util.errors import InvalidValue
+
+
+@dataclass(frozen=True)
+class Monoid:
+    """An associative binary operator with identity (and optional ufunc)."""
+
+    op: BinaryOp
+    identity: object
+
+    def __post_init__(self):
+        if not self.op.associative:
+            raise InvalidValue(
+                f"monoid requires an associative operator, got {self.op.name!r}"
+            )
+
+    @property
+    def name(self) -> str:
+        return f"{self.op.name}_monoid"
+
+    @property
+    def ufunc(self) -> Optional[np.ufunc]:
+        return self.op.ufunc
+
+    def __call__(self, x, y):
+        return self.op(x, y)
+
+    def reduce(self, values: np.ndarray):
+        """Reduce a 1-D array; returns the identity when empty."""
+        if values.size == 0:
+            return self.identity
+        if self.op.ufunc is not None:
+            return self.op.ufunc.reduce(values)
+        acc = values[0]
+        for v in values[1:]:
+            acc = self.op.fn(acc, v)
+        return acc
+
+    def segment_reduce(self, values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
+        """Reduce consecutive segments ``values[indptr[i]:indptr[i+1]]``.
+
+        Empty segments yield the identity.  This is the workhorse of the
+        generic (non-plus-times) sparse matrix-vector product.
+        """
+        nseg = len(indptr) - 1
+        out = np.full(nseg, self.identity, dtype=values.dtype if values.size else None)
+        if values.size == 0:
+            return out
+        starts = indptr[:-1]
+        nonempty = indptr[1:] > starts
+        if self.op.ufunc is not None:
+            # ufunc.reduceat misbehaves for empty segments (it returns
+            # values[start] of the *next* segment); restrict to non-empty
+            # segments and fill the rest with the identity.
+            idx = starts[nonempty]
+            if idx.size:
+                reduced = self.op.ufunc.reduceat(values, idx)
+                out[nonempty] = reduced
+            return out
+        for i in range(nseg):
+            lo, hi = indptr[i], indptr[i + 1]
+            if hi > lo:
+                acc = values[lo]
+                for j in range(lo + 1, hi):
+                    acc = self.op.fn(acc, values[j])
+                out[i] = acc
+        return out
+
+
+# --- predefined monoids -----------------------------------------------------
+plus_monoid = Monoid(ops.plus, 0)
+times_monoid = Monoid(ops.times, 1)
+min_monoid = Monoid(ops.min_, np.inf)
+max_monoid = Monoid(ops.max_, -np.inf)
+lor_monoid = Monoid(ops.lor, False)
+land_monoid = Monoid(ops.land, True)
+lxor_monoid = Monoid(ops.lxor, False)

@@ -1,0 +1,120 @@
+"""Unary and binary operators.
+
+Operators carry an optional numpy ufunc so that container operations can
+run vectorised; arbitrary Python callables are accepted as a fallback and
+are exercised by the test suite to keep the slow path honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.util.errors import InvalidValue
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    """An elementwise function of one argument, ``z = f(x)``."""
+
+    name: str
+    fn: Callable
+    ufunc: Optional[np.ufunc] = None
+
+    def __call__(self, x):
+        if self.ufunc is not None:
+            return self.ufunc(x)
+        return self.fn(x)
+
+    def vectorized(self, x: np.ndarray) -> np.ndarray:
+        """Apply to a numpy array, vectorising the Python fallback."""
+        if self.ufunc is not None:
+            return self.ufunc(x)
+        return np.frompyfunc(self.fn, 1, 1)(x).astype(x.dtype, copy=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"UnaryOp({self.name})"
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    """An elementwise function of two arguments, ``z = f(x, y)``."""
+
+    name: str
+    fn: Callable
+    ufunc: Optional[np.ufunc] = None
+    commutative: bool = False
+    associative: bool = False
+
+    def __call__(self, x, y):
+        if self.ufunc is not None:
+            return self.ufunc(x, y)
+        return self.fn(x, y)
+
+    def vectorized(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        if self.ufunc is not None:
+            return self.ufunc(x, y)
+        out_dtype = np.result_type(x, y)
+        return np.frompyfunc(self.fn, 2, 1)(x, y).astype(out_dtype, copy=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BinaryOp({self.name})"
+
+
+def _first(x, y):
+    return x
+
+
+def _second(x, y):
+    return y
+
+
+# --- predefined unary operators -------------------------------------------
+identity = UnaryOp("identity", lambda x: x, ufunc=np.positive)
+ainv = UnaryOp("ainv", lambda x: -x, ufunc=np.negative)
+minv = UnaryOp("minv", lambda x: 1.0 / x, ufunc=np.reciprocal)
+abs_ = UnaryOp("abs", abs, ufunc=np.abs)
+lnot = UnaryOp("lnot", lambda x: not x, ufunc=np.logical_not)
+sqrt = UnaryOp("sqrt", lambda x: x ** 0.5, ufunc=np.sqrt)
+one = UnaryOp("one", lambda x: type(x)(1) if not isinstance(x, bool) else True,
+              ufunc=None)
+
+# --- predefined binary operators -------------------------------------------
+plus = BinaryOp("plus", lambda x, y: x + y, ufunc=np.add,
+                commutative=True, associative=True)
+minus = BinaryOp("minus", lambda x, y: x - y, ufunc=np.subtract)
+times = BinaryOp("times", lambda x, y: x * y, ufunc=np.multiply,
+                 commutative=True, associative=True)
+div = BinaryOp("div", lambda x, y: x / y, ufunc=np.divide)
+min_ = BinaryOp("min", min, ufunc=np.minimum, commutative=True, associative=True)
+max_ = BinaryOp("max", max, ufunc=np.maximum, commutative=True, associative=True)
+first = BinaryOp("first", _first, ufunc=None, associative=True)
+second = BinaryOp("second", _second, ufunc=None, associative=True)
+land = BinaryOp("land", lambda x, y: bool(x) and bool(y), ufunc=np.logical_and,
+                commutative=True, associative=True)
+lor = BinaryOp("lor", lambda x, y: bool(x) or bool(y), ufunc=np.logical_or,
+               commutative=True, associative=True)
+lxor = BinaryOp("lxor", lambda x, y: bool(x) != bool(y), ufunc=np.logical_xor,
+                commutative=True, associative=True)
+eq = BinaryOp("eq", lambda x, y: x == y, ufunc=np.equal, commutative=True)
+ne = BinaryOp("ne", lambda x, y: x != y, ufunc=np.not_equal, commutative=True)
+pow_ = BinaryOp("pow", lambda x, y: x ** y, ufunc=np.power)
+
+_REGISTRY: Dict[str, object] = {
+    op.name: op
+    for op in (
+        identity, ainv, minv, abs_, lnot, sqrt, one,
+        plus, minus, times, div, min_, max_, first, second,
+        land, lor, lxor, eq, ne, pow_,
+    )
+}
+
+
+def lookup(name: str):
+    """Find a predefined operator by name (``'plus'``, ``'times'``, ...)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise InvalidValue(f"unknown operator {name!r}") from None

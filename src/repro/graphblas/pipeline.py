@@ -1,0 +1,254 @@
+"""A nonblocking-execution pipeline (paper §VII-A / ref. [32]).
+
+Standard GraphBLAS semantics are *blocking*: each primitive completes
+before the next starts, so a producer-consumer pair like RBGS's masked
+``mxv`` followed by the ``eWiseLambda`` consuming its result makes a
+full round trip through memory.  Mastoras et al.'s nonblocking ALP
+defers execution, analyses the accumulated operation sequence, and
+fuses such pairs.
+
+This module implements that design in miniature, as an explicit
+builder (deferral is visible in the API rather than ambient, which
+keeps the eager operations' semantics untouched):
+
+>>> import numpy as np
+>>> from repro import graphblas as grb
+>>> from repro.graphblas.pipeline import Pipeline
+>>> A = grb.Matrix.from_dense([[2.0, 1.0], [1.0, 3.0]])
+>>> x = grb.Vector.from_dense([1.0, 1.0])
+>>> mask = grb.Vector.from_coo([0, 1], [True, True], 2, dtype=bool)
+>>> tmp = grb.Vector.dense(2)
+>>> def double(idx, xv, tv):
+...     xv[idx] = 2.0 * tv[idx]
+>>> pipe = Pipeline()
+>>> pipe.mxv(tmp, mask, A, x).ewise_lambda(double, mask, x, tmp)
+Pipeline(2 stages)
+>>> stats = pipe.execute()
+>>> stats.fused_pairs
+1
+>>> x.to_dense().tolist()
+[6.0, 8.0]
+
+``execute()`` walks the recorded stages; whenever a masked ``mxv``'s
+output vector is consumed by the immediately following
+``ewise_lambda`` under the same mask (and by nothing afterwards), the
+pair dispatches to the fused kernel of :mod:`repro.graphblas.fused`,
+eliding the intermediate's memory round trip; everything else runs
+eagerly in order.  Results are bit-identical either way (tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.graphblas import descriptor as desc_mod
+from repro.graphblas import operations as ops_mod
+from repro.graphblas.fused import fused_masked_mxv_lambda
+from repro.graphblas.matrix import Matrix
+from repro.graphblas.semiring import Semiring, plus_times
+from repro.graphblas.vector import Vector
+from repro.util.errors import InvalidValue
+
+
+@dataclass
+class _Stage:
+    kind: str            # "mxv" | "ewise_lambda"
+    args: tuple
+    kwargs: dict
+
+
+@dataclass
+class PipelineStats:
+    """What ``execute`` did."""
+
+    stages: int = 0
+    fused_pairs: int = 0
+    eager_stages: int = 0
+
+
+class Pipeline:
+    """Deferred GraphBLAS call sequence with producer-consumer fusion."""
+
+    def __init__(self) -> None:
+        self._stages: List[_Stage] = []
+        self._executed = False
+
+    # --- recording -----------------------------------------------------------
+    def mxv(self, w: Vector, mask: Optional[Vector], A: Matrix, u: Vector,
+            semiring: Semiring = plus_times,
+            desc=desc_mod.structural) -> "Pipeline":
+        self._check_open()
+        self._stages.append(_Stage(
+            "mxv", (w, mask, A, u),
+            {"semiring": semiring, "desc": desc},
+        ))
+        return self
+
+    def ewise_lambda(self, fn: Callable[..., None], mask: Optional[Vector],
+                     *vectors: Vector,
+                     desc=desc_mod.structural) -> "Pipeline":
+        self._check_open()
+        self._stages.append(_Stage(
+            "ewise_lambda", (fn, mask, *vectors), {"desc": desc},
+        ))
+        return self
+
+    def _check_open(self) -> None:
+        if self._executed:
+            raise InvalidValue("pipeline already executed; build a new one")
+
+    # --- fusion analysis + execution -------------------------------------------
+    @staticmethod
+    def _fusable(producer: _Stage, consumer: _Stage) -> bool:
+        """The mxv -> ewise_lambda pattern the fused kernel covers."""
+        if producer.kind != "mxv" or consumer.kind != "ewise_lambda":
+            return False
+        w, p_mask, _A, _u = producer.args
+        _fn, c_mask, *vectors = consumer.args
+        if p_mask is None or c_mask is not p_mask:
+            return False
+        if not producer.kwargs["semiring"].is_plus_times:
+            return False
+        if not producer.kwargs["desc"].structural:
+            return False
+        if producer.kwargs["desc"].invert_mask:
+            return False
+        # the produced vector must be consumed here (anywhere in the
+        # lambda's operand list) — it becomes the fused kernel's local
+        # product and must not be needed as a container afterwards.
+        # Identity, not equality: Vector.__eq__ compares values.
+        return any(v is w for v in vectors)
+
+    def execute(self) -> PipelineStats:
+        """Run the recorded stages, fusing where legal."""
+        self._check_open()
+        self._executed = True
+        stats = PipelineStats(stages=len(self._stages))
+        i = 0
+        while i < len(self._stages):
+            stage = self._stages[i]
+            nxt = self._stages[i + 1] if i + 1 < len(self._stages) else None
+            if nxt is not None and self._fusable(stage, nxt):
+                w, mask, A, u = stage.args
+                fn, _mask, *vectors = nxt.args
+                position = next(k for k, v in enumerate(vectors) if v is w)
+                others = [v for v in vectors if v is not w]
+                # The fused kernel hands the product as a compact array
+                # aligned with idx; the consumer lambda indexed the tmp
+                # storage by idx, so wrap it to translate.
+                fused_masked_mxv_lambda(
+                    _make_adapter(fn, position), mask, A, u, *others,
+                    desc=stage.kwargs["desc"],
+                )
+                stats.fused_pairs += 1
+                i += 2
+                continue
+            # eager fallback
+            if stage.kind == "mxv":
+                w, mask, A, u = stage.args
+                ops_mod.mxv(w, mask, A, u, **stage.kwargs)
+            else:
+                fn, mask, *vectors = stage.args
+                ops_mod.ewise_lambda(fn, mask, *vectors,
+                                     desc=stage.kwargs["desc"])
+            stats.eager_stages += 1
+            i += 1
+        return stats
+
+    def __repr__(self) -> str:
+        return f"Pipeline({len(self._stages)} stages)"
+
+
+class PipelinedRBGSSmoother:
+    """RBGS built on :class:`Pipeline` — each colour step is recorded as
+    the blocking two-call sequence and the pipeline's fusion analysis
+    recovers the fused kernel automatically.
+
+    This is the "humble programmer" version of
+    :class:`repro.graphblas.fused.FusedRBGSSmoother`: the algorithm is
+    written against standard primitives (as Listing 3 would be) and the
+    *framework* finds the fusion — precisely the separation of concerns
+    the paper's §VII-A advocates.  Iterates are bit-identical to the
+    blocking smoother; tests assert every colour step fused.
+    """
+
+    def __init__(self, A: Matrix, A_diag: Vector, colors) -> None:
+        self.A = A
+        self.A_diag = A_diag
+        self.colors = list(colors)
+        if not self.colors:
+            raise InvalidValue("at least one colour mask is required")
+        self._tmp = Vector.dense(A.nrows)
+        self.last_stats: Optional[PipelineStats] = None
+
+    @property
+    def n(self) -> int:
+        return self.A.nrows
+
+    @staticmethod
+    def _pointwise(idx, z, r, tmp, d) -> None:
+        dd = d[idx]
+        z[idx] = (r[idx] - tmp[idx] + z[idx] * dd) / dd
+
+    def _sweep(self, z: Vector, r: Vector, order) -> None:
+        fused = 0
+        stages = 0
+        for k in order:
+            mask = self.colors[k]
+            pipe = Pipeline()
+            pipe.mxv(self._tmp, mask, self.A, z)
+            pipe.ewise_lambda(self._pointwise, mask, z, r, self._tmp,
+                              self.A_diag)
+            stats = pipe.execute()
+            fused += stats.fused_pairs
+            stages += stats.stages
+        self.last_stats = PipelineStats(stages=stages, fused_pairs=fused,
+                                        eager_stages=stages - 2 * fused)
+
+    def forward(self, z: Vector, r: Vector) -> Vector:
+        self._sweep(z, r, range(len(self.colors)))
+        return z
+
+    def backward(self, z: Vector, r: Vector) -> Vector:
+        self._sweep(z, r, range(len(self.colors) - 1, -1, -1))
+        return z
+
+    def smooth(self, z: Vector, r: Vector, sweeps: int = 1) -> Vector:
+        for _ in range(sweeps):
+            self.forward(z, r)
+            self.backward(z, r)
+        return z
+
+
+def _make_adapter(fn: Callable[..., None], position: int):
+    """Adapt a tmp-indexing lambda to the fused kernel's compact product.
+
+    The original lambda reads ``tmp[idx]`` from full-size storage; the
+    fused kernel provides the product already gathered (one value per
+    masked row).  The adapter scatters it into a full-size scratch view
+    only logically: it builds a tiny proxy exposing ``[idx]`` as the
+    compact array.
+    """
+    class _CompactAsFull:
+        __slots__ = ("compact",)
+
+        def __init__(self, compact):
+            self.compact = compact
+
+        def __getitem__(self, key):
+            # the lambda always indexes with the masked idx array; the
+            # compact product is aligned with it by construction
+            return self.compact
+
+        def __setitem__(self, key, value):
+            raise InvalidValue(
+                "the fused product is read-only inside the lambda"
+            )
+
+    def adapted(idx, product, *storages):
+        args = list(storages)
+        args.insert(position, _CompactAsFull(product))
+        fn(idx, *args)
+
+    return adapted

@@ -1,0 +1,54 @@
+"""Semirings: an additive monoid combined with a multiplicative operator.
+
+The semiring is the algebraic structure GraphBLAS attaches to ``mxv`` /
+``vxm`` / ``mxm`` and to ``dot``.  HPCG only needs the conventional
+arithmetic semiring (plus-times over FP64), but the substrate supports
+the usual alternative semirings so it stands alone as a GraphBLAS
+implementation (and the test suite uses them to validate the generic
+execution paths).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graphblas import monoid as _monoid
+from repro.graphblas import ops
+from repro.graphblas.monoid import Monoid
+from repro.graphblas.ops import BinaryOp
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """``(add, mul)`` pair; ``add`` must be a monoid."""
+
+    add: Monoid
+    mul: BinaryOp
+
+    @property
+    def name(self) -> str:
+        return f"{self.add.op.name}_{self.mul.name}"
+
+    @property
+    def is_plus_times(self) -> bool:
+        """True for the conventional arithmetic semiring.
+
+        This is the condition for dispatching to the fast scipy CSR
+        product inside ``mxv``/``mxm``.
+        """
+        return self.add.op.name == "plus" and self.mul.name == "times"
+
+
+# --- predefined semirings ---------------------------------------------------
+plus_times = Semiring(_monoid.plus_monoid, ops.times)
+plus_first = Semiring(_monoid.plus_monoid, ops.first)
+plus_second = Semiring(_monoid.plus_monoid, ops.second)
+min_plus = Semiring(_monoid.min_monoid, ops.plus)
+max_plus = Semiring(_monoid.max_monoid, ops.plus)
+max_times = Semiring(_monoid.max_monoid, ops.times)
+min_times = Semiring(_monoid.min_monoid, ops.times)
+lor_land = Semiring(_monoid.lor_monoid, ops.land)
+min_first = Semiring(_monoid.min_monoid, ops.first)
+min_second = Semiring(_monoid.min_monoid, ops.second)
+max_first = Semiring(_monoid.max_monoid, ops.first)
+max_second = Semiring(_monoid.max_monoid, ops.second)

@@ -1,0 +1,71 @@
+"""Domain (dtype) handling for GraphBLAS containers and operators.
+
+GraphBLAS predefines a small set of scalar domains.  We map them onto
+numpy dtypes and provide the promotion rules used when an operation mixes
+domains (the C spec promotes per usual arithmetic conversions; we follow
+numpy's ``result_type`` which matches for the types we support).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.util.errors import DomainMismatch
+
+# The GraphBLAS predefined types (GrB_BOOL .. GrB_FP64) as numpy dtypes.
+BOOL = np.dtype(np.bool_)
+INT8 = np.dtype(np.int8)
+INT16 = np.dtype(np.int16)
+INT32 = np.dtype(np.int32)
+INT64 = np.dtype(np.int64)
+UINT8 = np.dtype(np.uint8)
+UINT16 = np.dtype(np.uint16)
+UINT32 = np.dtype(np.uint32)
+UINT64 = np.dtype(np.uint64)
+FP32 = np.dtype(np.float32)
+FP64 = np.dtype(np.float64)
+
+PREDEFINED = (
+    BOOL,
+    INT8,
+    INT16,
+    INT32,
+    INT64,
+    UINT8,
+    UINT16,
+    UINT32,
+    UINT64,
+    FP32,
+    FP64,
+)
+
+DTypeLike = Union[np.dtype, type, str]
+
+
+def as_dtype(dtype: DTypeLike) -> np.dtype:
+    """Normalise a user-provided dtype to one of the predefined domains.
+
+    Raises :class:`DomainMismatch` for unsupported domains (complex,
+    object, strings) because GraphBLAS semantics are only defined for the
+    predefined scalar types.
+    """
+    dt = np.dtype(dtype)
+    if dt not in PREDEFINED:
+        raise DomainMismatch(
+            f"unsupported GraphBLAS domain {dt!r}; expected one of "
+            f"{[str(d) for d in PREDEFINED]}"
+        )
+    return dt
+
+
+def promote(*dtypes: DTypeLike) -> np.dtype:
+    """Common result domain for a mixed-domain operation."""
+    dts = [as_dtype(d) for d in dtypes]
+    return as_dtype(np.result_type(*dts))
+
+
+def zero_of(dtype: DTypeLike):
+    """The scalar zero of a domain (used for sparse "absent" fills)."""
+    return as_dtype(dtype).type(0)

@@ -1,0 +1,19 @@
+"""3D grid geometry for the HPCG problem domain."""
+
+from repro.grid.geometry import Grid3D
+from repro.grid.stencil import (
+    stencil_27pt_coo,
+    stencil_7pt_coo,
+    stencil_coo,
+    stencil_offsets,
+    stencil_offsets_7pt,
+)
+
+__all__ = [
+    "Grid3D",
+    "stencil_27pt_coo",
+    "stencil_7pt_coo",
+    "stencil_coo",
+    "stencil_offsets",
+    "stencil_offsets_7pt",
+]

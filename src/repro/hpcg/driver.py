@@ -1,0 +1,244 @@
+"""The HPCG benchmark driver: generation → validation → timed run → report.
+
+Mirrors the phase structure of the official benchmark:
+
+1. **Generation** — build the system and the multigrid hierarchy
+   (reported as setup time, excluded from the benchmark figure);
+2. **Validation** — spmv/preconditioner symmetry tests (the HPCG spec's
+   precondition for the RBGS smoother substitution) and a convergence
+   sanity check;
+3. **Timed run** — preconditioned CG for a fixed iteration count with
+   per-kernel timers;
+4. **Report** — GFLOP/s from formula flops, per-kernel and per-MG-level
+   breakdowns (the percentages behind the paper's Figures 4-7).
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro import graphblas as grb
+from repro.hpcg import flops as flops_mod
+from repro.hpcg.cg import CGResult, pcg
+from repro.hpcg.multigrid import MGLevel, MGPreconditioner, build_hierarchy
+from repro.hpcg.problem import Problem, generate_problem
+from repro.hpcg.symmetry import SymmetryReport, validate
+from repro.util.timer import TimerRegistry
+
+
+@dataclass
+class HPCGResult:
+    """Everything an HPCG run produces."""
+
+    problem: Problem
+    cg: CGResult
+    symmetry: SymmetryReport
+    timers: TimerRegistry
+    setup_seconds: float
+    run_seconds: float
+    flops: flops_mod.FlopCounts
+    mg_levels: int
+    # with repetitions > 1 (the paper repeats each experiment 10 times
+    # and reports averages): per-repetition wall-clock of the timed run
+    repetition_seconds: List[float] = None
+
+    @property
+    def run_seconds_std(self) -> float:
+        """Unbiased standard deviation over repetitions (0 for one run)."""
+        reps = self.repetition_seconds or [self.run_seconds]
+        if len(reps) < 2:
+            return 0.0
+        mean = sum(reps) / len(reps)
+        var = sum((t - mean) ** 2 for t in reps) / (len(reps) - 1)
+        return var ** 0.5
+
+    @property
+    def gflops(self) -> float:
+        return self.flops.total / self.run_seconds / 1e9 if self.run_seconds else 0.0
+
+    @property
+    def _timed_total(self) -> float:
+        """Wall-clock covered by the timers (all repetitions)."""
+        reps = self.repetition_seconds or [self.run_seconds]
+        return sum(reps) or 1.0
+
+    def kernel_breakdown(self) -> Dict[str, float]:
+        """Fraction of run time per top-level kernel family."""
+        total = self._timed_total
+        mg = self.timers.total("mg/")
+        out = {
+            "mg": mg / total,
+            "cg/spmv": self.timers.total("cg/spmv") / total,
+            "cg/dot": self.timers.total("cg/dot") / total,
+            "cg/waxpby": self.timers.total("cg/waxpby") / total,
+        }
+        return out
+
+    def mg_level_breakdown(self) -> List[Dict[str, float]]:
+        """Per-level shares of *total* time: RBGS vs restrict+refine.
+
+        This is exactly the quantity plotted in the paper's Figures 4-7
+        ("the percentages refer to the total execution time, and the
+        runtime in a given level does not include coarser levels").
+        """
+        total = self._timed_total
+        out = []
+        for i in range(self.mg_levels):
+            rbgs = self.timers.total(f"mg/L{i}/rbgs")
+            rr = self.timers.total(f"mg/L{i}/restrict") + self.timers.total(
+                f"mg/L{i}/prolong"
+            )
+            out.append({"level": i, "rbgs": rbgs / total, "restrict_refine": rr / total})
+        return out
+
+    def summary(self) -> str:
+        lines = [
+            f"HPCG result: grid {self.problem.grid.dims}, n={self.problem.n}",
+            f"  validation: spmv_err={self.symmetry.spmv_error:.3e} "
+            f"precond_err={self.symmetry.precond_error:.3e} "
+            f"passed={self.symmetry.passed}",
+            f"  iterations: {self.cg.iterations}, "
+            f"final relative residual {self.cg.relative_residual:.3e}",
+            f"  setup {self.setup_seconds:.3f}s, run {self.run_seconds:.3f}s, "
+            f"{self.gflops:.3f} GFLOP/s (formula flops)",
+            "  MG level breakdown (share of total time):",
+        ]
+        for row in self.mg_level_breakdown():
+            lines.append(
+                f"    L{row['level']}: rbgs {row['rbgs']:.1%}, "
+                f"restrict+refine {row['restrict_refine']:.1%}"
+            )
+        return "\n".join(lines)
+
+
+def run_hpcg(
+    nx: int,
+    ny: int = 0,
+    nz: int = 0,
+    max_iters: int = 50,
+    tolerance: float = 0.0,
+    mg_levels: int = 4,
+    b_style: str = "reference",
+    validate_symmetry: bool = True,
+    coloring_scheme: str = "auto",
+    problem: Optional[Problem] = None,
+    repetitions: int = 1,
+) -> HPCGResult:
+    """Run the complete HPCG benchmark on GraphBLAS and return the report.
+
+    ``mg_levels`` may be lowered for small grids; pass ``mg_levels=0``
+    to run unpreconditioned CG (used by validation and ablations).
+    With ``repetitions > 1`` the timed run repeats (fresh ``x`` each
+    time, same fixed iteration count — the paper's protocol) and
+    ``run_seconds`` is the average; the timers accumulate all
+    repetitions, so breakdown *shares* are unaffected.
+    """
+    t0 = time.perf_counter()
+    if problem is None:
+        problem = generate_problem(nx, ny, nz, b_style=b_style)
+    timers = TimerRegistry()
+    preconditioner = None
+    if mg_levels > 0:
+        hierarchy = build_hierarchy(problem, levels=mg_levels,
+                                    coloring_scheme=coloring_scheme)
+        preconditioner = MGPreconditioner(hierarchy, timers=timers)
+    setup_seconds = time.perf_counter() - t0
+
+    if validate_symmetry:
+        sym = validate(problem.A, preconditioner)
+        # the validation probes ran the preconditioner under the same
+        # timer registry; clear them so the breakdown reflects only the
+        # timed run (official HPCG likewise excludes validation).
+        timers.reset()
+    else:
+        sym = SymmetryReport(0.0, 0.0, True, True)
+
+    if repetitions < 1:
+        raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+    repetition_seconds: List[float] = []
+    cg_result = None
+    for _ in range(repetitions):
+        x = problem.x0.dup()
+        t1 = time.perf_counter()
+        cg_result = pcg(
+            problem.A, problem.b, x,
+            preconditioner=preconditioner,
+            max_iters=max_iters,
+            tolerance=tolerance,
+            timers=timers,
+        )
+        repetition_seconds.append(time.perf_counter() - t1)
+    run_seconds = sum(repetition_seconds) / len(repetition_seconds)
+
+    flops = _count_flops(problem, preconditioner, cg_result.iterations, mg_levels)
+    return HPCGResult(
+        problem=problem,
+        cg=cg_result,
+        symmetry=sym,
+        timers=timers,
+        setup_seconds=setup_seconds,
+        run_seconds=run_seconds,
+        flops=flops,
+        mg_levels=mg_levels,
+        repetition_seconds=repetition_seconds,
+    )
+
+
+def _count_flops(
+    problem: Problem,
+    preconditioner: Optional[MGPreconditioner],
+    iterations: int,
+    mg_levels: int,
+) -> flops_mod.FlopCounts:
+    if preconditioner is not None:
+        levels: List[MGLevel] = preconditioner.hierarchy.levels()
+        nnz_per_level = [lvl.A.nvals for lvl in levels]
+        n_per_level = [lvl.n for lvl in levels]
+    else:
+        nnz_per_level, n_per_level = [], []
+    per_iter = flops_mod.cg_iteration_flops(
+        problem.n, problem.A.nvals, nnz_per_level, n_per_level
+    )
+    total = flops_mod.FlopCounts()
+    for kernel, count in per_iter.counts.items():
+        total.add(kernel, count * max(iterations, 1))
+    return total
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point: ``repro-hpcg --nx 16 --iters 50``."""
+    parser = argparse.ArgumentParser(description="HPCG on GraphBLAS (Python)")
+    parser.add_argument("--nx", type=int, default=16)
+    parser.add_argument("--ny", type=int, default=0)
+    parser.add_argument("--nz", type=int, default=0)
+    parser.add_argument("--iters", type=int, default=50)
+    parser.add_argument("--tolerance", type=float, default=0.0)
+    parser.add_argument("--mg-levels", type=int, default=4)
+    parser.add_argument("--b-style", choices=["reference", "ones"],
+                        default="reference")
+    parser.add_argument("--timers", action="store_true",
+                        help="print the full timer table")
+    parser.add_argument("--report", action="store_true",
+                        help="print an official-HPCG-style YAML report")
+    args = parser.parse_args(argv)
+    result = run_hpcg(
+        args.nx, args.ny, args.nz,
+        max_iters=args.iters,
+        tolerance=args.tolerance,
+        mg_levels=args.mg_levels,
+        b_style=args.b_style,
+    )
+    print(result.summary())
+    if args.timers:
+        print(result.timers.report())
+    if args.report:
+        from repro.hpcg.report import render_report
+        print(render_report(result))
+    return 0 if result.symmetry.passed else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,96 @@
+"""Official-HPCG-style result report.
+
+The real benchmark emits a YAML file (``HPCG-Benchmark_3.1_....yaml``)
+with the problem setup, the validation results, per-kernel timing/flop
+summaries and the final rating.  This module renders the same structure
+from an :class:`~repro.hpcg.driver.HPCGResult`, both as a nested dict
+(for programmatic use) and as YAML-formatted text (no YAML library
+needed — the subset we emit is plain nested scalars).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.hpcg.driver import HPCGResult
+
+
+def to_dict(result: HPCGResult) -> Dict:
+    """The report as a nested dictionary."""
+    problem = result.problem
+    counts = result.flops.merged()
+    kernel_seconds = {
+        "spmv": result.timers.total("cg/spmv"),
+        "dot": result.timers.total("cg/dot"),
+        "waxpby": result.timers.total("cg/waxpby"),
+        "mg": result.timers.total("mg/"),
+    }
+    gflops_per_kernel = {}
+    for kernel, seconds in kernel_seconds.items():
+        if kernel == "mg":
+            flops = sum(v for k, v in counts.items()
+                        if k in ("rbgs", "mg_spmv", "restrict", "refine"))
+        else:
+            flops = counts.get(kernel, 0.0)
+        gflops_per_kernel[kernel] = flops / seconds / 1e9 if seconds else 0.0
+    return {
+        "HPCG-Benchmark": {
+            "version": "repro-python",
+            "Global Problem Dimensions": {
+                "nx": problem.grid.nx,
+                "ny": problem.grid.ny,
+                "nz": problem.grid.nz,
+            },
+            "Linear System Information": {
+                "Number of Equations": problem.n,
+                "Number of Nonzero Terms": problem.A.nvals,
+            },
+            "Multigrid Information": {
+                "Number of coarse grid levels": max(result.mg_levels - 1, 0),
+            },
+            "Setup Information": {
+                "Setup Time": round(result.setup_seconds, 6),
+            },
+            "Validation Testing": {
+                "spmv symmetry error": result.symmetry.spmv_error,
+                "preconditioner symmetry error": result.symmetry.precond_error,
+                "Result": "PASSED" if result.symmetry.passed else "FAILED",
+            },
+            "Iteration Count Information": {
+                "Total number of optimized iterations": result.cg.iterations,
+            },
+            "Reproducibility Information": {
+                "Scaled residual": result.cg.relative_residual,
+            },
+            "Benchmark Time Summary": {
+                "Total": round(result.run_seconds, 6),
+                **{k: round(v, 6) for k, v in kernel_seconds.items()},
+            },
+            "GFLOP/s Summary": {
+                "Raw Total": round(result.gflops, 6),
+                **{f"Raw {k.upper()}": round(v, 6)
+                   for k, v in gflops_per_kernel.items()},
+            },
+            "Final Summary": {
+                "HPCG result is": "VALID" if result.symmetry.passed else "INVALID",
+                "GFLOP/s rating of": round(result.gflops, 6),
+            },
+        }
+    }
+
+
+def _render(node, indent: int = 0) -> str:
+    lines = []
+    pad = "  " * indent
+    for key, value in node.items():
+        if isinstance(value, dict):
+            lines.append(f"{pad}{key}:")
+            lines.append(_render(value, indent + 1))
+        else:
+            lines.append(f"{pad}{key}: {value}")
+    return "\n".join(lines)
+
+
+def render_report(result: HPCGResult) -> str:
+    """The report as YAML-formatted text (official-report lookalike)."""
+    return _render(to_dict(result))

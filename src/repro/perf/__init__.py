@@ -1,0 +1,39 @@
+"""Machine models and the shared-memory scaling model.
+
+The paper's shared-memory experiments ran on two physical machines
+(Table II) we do not have.  :mod:`repro.perf.machine` encodes those
+machines' published characteristics; :mod:`repro.perf.model` converts a
+*measured* GraphBLAS operation stream (bytes/flops per kernel, captured
+by :mod:`repro.graphblas.backend`) into predicted execution times at a
+given thread placement, using an explicit bandwidth-saturation + NUMA
+model.  The same model instance generates Figures 1, 2, 4 and 5.
+"""
+
+from repro.perf.machine import ARM, X86, MachineSpec, table2_rows
+from repro.perf.model import (
+    ALP_PROFILE,
+    REF_PROFILE,
+    ImplProfile,
+    Placement,
+    ScalingModel,
+    collect_op_stream,
+    packed_placement,
+    ref_stream_from_alp,
+    split_stream,
+)
+
+__all__ = [
+    "MachineSpec",
+    "ARM",
+    "X86",
+    "table2_rows",
+    "ImplProfile",
+    "ALP_PROFILE",
+    "REF_PROFILE",
+    "Placement",
+    "ScalingModel",
+    "collect_op_stream",
+    "packed_placement",
+    "ref_stream_from_alp",
+    "split_stream",
+]

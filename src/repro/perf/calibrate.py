@@ -1,0 +1,109 @@
+"""Calibrate a machine model for THIS machine.
+
+The figures reproduce the paper's machines from Table II constants, but
+the same modelling pipeline works for the machine the tests run on:
+measure the attainable memory bandwidth (a STREAM-triad-like loop) and
+the serial byte-throughput of the actual HPCG kernels, then build a
+:class:`~repro.perf.machine.MachineSpec` whose predictions can be
+compared against real wall-clock (see ``tests/test_calibrate.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro import graphblas as grb
+from repro.hpcg.problem import Problem
+from repro.perf.machine import MachineSpec
+from repro.perf.model import collect_op_stream
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Measured rates of the current machine/process."""
+
+    triad_bandwidth: float       # bytes/s of a dense triad
+    kernel_bandwidth: float      # effective bytes/s of the HPCG op stream
+    kernel_seconds: float        # wall-clock of the calibration run
+    stream_bytes: float          # formula bytes of the calibration run
+
+    @property
+    def efficiency(self) -> float:
+        """Fraction of triad bandwidth the sparse kernels reach."""
+        return self.kernel_bandwidth / self.triad_bandwidth if self.triad_bandwidth else 0.0
+
+
+def measure_triad_bandwidth(size: int = 4_000_000, repeats: int = 5) -> float:
+    """STREAM-triad-like bandwidth of this process (bytes/second)."""
+    a = np.zeros(size)
+    b = np.random.default_rng(0).standard_normal(size)
+    c = np.random.default_rng(1).standard_normal(size)
+    best = 0.0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        np.multiply(b, 2.5, out=a)
+        a += c
+        elapsed = time.perf_counter() - start
+        # 3 streams of 8 bytes each (read b, read c, write a)
+        best = max(best, 3 * 8 * size / elapsed)
+    return best
+
+
+def calibrate(problem: Problem, mg_levels: int = 3,
+              iterations: int = 3) -> CalibrationResult:
+    """Measure the real byte-throughput of this library's HPCG kernels."""
+    triad = measure_triad_bandwidth()
+    stream = collect_op_stream(problem, mg_levels=mg_levels,
+                               iterations=iterations)
+    stream_bytes = sum(stream.values())
+    # re-run the same workload under a wall clock (collect_op_stream's
+    # instrumentation overhead is small but real; measuring a separate
+    # run keeps the two concerns apart)
+    from repro.hpcg.cg import pcg
+    from repro.hpcg.multigrid import MGPreconditioner, build_hierarchy
+    mg_levels = min(mg_levels, problem.grid.max_mg_levels())
+    hierarchy = build_hierarchy(problem, levels=mg_levels)
+    precond = MGPreconditioner(hierarchy)
+    x = problem.x0.dup()
+    start = time.perf_counter()
+    pcg(problem.A, problem.b, x, preconditioner=precond,
+        max_iters=iterations)
+    kernel_seconds = time.perf_counter() - start
+    return CalibrationResult(
+        triad_bandwidth=triad,
+        kernel_bandwidth=stream_bytes / kernel_seconds if kernel_seconds else 0.0,
+        kernel_seconds=kernel_seconds,
+        stream_bytes=stream_bytes,
+    )
+
+
+def this_machine(name: str = "local") -> MachineSpec:
+    """A single-socket MachineSpec for the current host.
+
+    Core count comes from the OS; bandwidth from the triad measurement.
+    Cache/frequency fields are filled with neutral placeholders — the
+    scaling model only consumes cores, sockets, NUMA domains and
+    bandwidth.
+    """
+    cores = os.cpu_count() or 1
+    return MachineSpec(
+        name=name,
+        cpu="local-host",
+        cores_per_socket=cores,
+        sockets=1,
+        threads_per_core=1,
+        numa_domains_per_socket=1,
+        max_frequency_ghz=0.0,
+        l3_cache_mb=0.0,
+        l2_cache_kb_per_core=0.0,
+        memory_channels=0,
+        ram_gb=0,
+        ddr_frequency_mhz=0,
+        attained_bandwidth=measure_triad_bandwidth(),
+        network="n/a",
+    )

@@ -1,0 +1,21 @@
+"""Small shared utilities: error types, hierarchical timers, reports."""
+
+from repro.util.errors import (
+    ReproError,
+    DimensionMismatch,
+    DomainMismatch,
+    InvalidValue,
+    OutputAliasing,
+)
+from repro.util.timer import Timer, TimerRegistry, null_timer
+
+__all__ = [
+    "ReproError",
+    "DimensionMismatch",
+    "DomainMismatch",
+    "InvalidValue",
+    "OutputAliasing",
+    "Timer",
+    "TimerRegistry",
+    "null_timer",
+]

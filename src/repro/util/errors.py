@@ -1,0 +1,49 @@
+"""Exception hierarchy shared by all subpackages.
+
+The GraphBLAS C specification defines API error codes
+(``GrB_DIMENSION_MISMATCH``, ``GrB_DOMAIN_MISMATCH``, ...); we mirror the
+ones this project can actually raise as Python exceptions so callers can
+catch them precisely.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class DimensionMismatch(ReproError, ValueError):
+    """Container sizes are incompatible for the requested operation.
+
+    Mirrors ``GrB_DIMENSION_MISMATCH``.
+    """
+
+
+class DomainMismatch(ReproError, TypeError):
+    """Operator/container domains (dtypes) are incompatible.
+
+    Mirrors ``GrB_DOMAIN_MISMATCH``.
+    """
+
+
+class InvalidValue(ReproError, ValueError):
+    """An argument value is outside the accepted set.
+
+    Mirrors ``GrB_INVALID_VALUE``.
+    """
+
+
+class OutputAliasing(ReproError, ValueError):
+    """The output container illegally aliases an input container.
+
+    The GraphBLAS specification forbids most in-place aliasing; operations
+    that support aliasing document it explicitly.
+    """
+
+
+class NotConverged(ReproError, RuntimeError):
+    """An iterative solver failed to reach its tolerance."""
+
+    def __init__(self, message: str, iterations: int, residual: float):
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual

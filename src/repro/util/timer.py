@@ -1,0 +1,116 @@
+"""Hierarchical wall-clock timers used by the HPCG driver and experiments.
+
+Two kinds of "time" coexist in this project:
+
+* real wall-clock time (this module), used for serial kernel benchmarks
+  and the breakdown figures when running natively; and
+* modelled BSP time (:mod:`repro.perf.model`), used to reproduce the
+  multi-thread / multi-node figures on a machine we do not have.
+
+``Timer`` supports both: ``tick(seconds)`` adds modelled time, while the
+context-manager form measures wall-clock time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+from contextlib import contextmanager
+
+
+@dataclass
+class Timer:
+    """Accumulates elapsed seconds and invocation counts for one label."""
+
+    name: str
+    total: float = 0.0
+    count: int = 0
+
+    @contextmanager
+    def measure(self) -> Iterator["Timer"]:
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.total += time.perf_counter() - start
+            self.count += 1
+
+    def tick(self, seconds: float) -> None:
+        """Record ``seconds`` of modelled (non-wall-clock) time."""
+        if seconds < 0:
+            raise ValueError(f"negative time tick: {seconds}")
+        self.total += seconds
+        self.count += 1
+
+    def reset(self) -> None:
+        self.total = 0.0
+        self.count = 0
+
+
+@dataclass
+class TimerRegistry:
+    """A flat registry of named timers with ``a/b/c`` path-style labels.
+
+    HPCG uses labels like ``mg/level0/rbgs`` and ``mg/level0/restrict`` so
+    the per-level breakdowns of Figures 4-7 can be recovered by prefix.
+    """
+
+    timers: Dict[str, Timer] = field(default_factory=dict)
+
+    def get(self, name: str) -> Timer:
+        timer = self.timers.get(name)
+        if timer is None:
+            timer = Timer(name)
+            self.timers[name] = timer
+        return timer
+
+    @contextmanager
+    def measure(self, name: str) -> Iterator[Timer]:
+        with self.get(name).measure() as t:
+            yield t
+
+    def tick(self, name: str, seconds: float) -> None:
+        self.get(name).tick(seconds)
+
+    def total(self, prefix: str = "") -> float:
+        """Sum of all timers whose name starts with ``prefix``."""
+        return sum(t.total for name, t in self.timers.items() if name.startswith(prefix))
+
+    def reset(self) -> None:
+        for t in self.timers.values():
+            t.reset()
+
+    def as_dict(self) -> Dict[str, float]:
+        return {name: t.total for name, t in sorted(self.timers.items())}
+
+    def report(self, min_fraction: float = 0.0) -> str:
+        """Human-readable table sorted by descending total time."""
+        grand = sum(t.total for t in self.timers.values()) or 1.0
+        lines = [f"{'timer':<40} {'seconds':>12} {'calls':>8} {'share':>7}"]
+        for name, t in sorted(self.timers.items(), key=lambda kv: -kv[1].total):
+            share = t.total / grand
+            if share < min_fraction:
+                continue
+            lines.append(f"{name:<40} {t.total:>12.6f} {t.count:>8d} {share:>6.1%}")
+        return "\n".join(lines)
+
+
+class _NullTimer:
+    """A timer sink that ignores everything (used when timing is disabled)."""
+
+    @contextmanager
+    def measure(self, name: str = "") -> Iterator[None]:
+        yield None
+
+    def tick(self, name: str, seconds: float = 0.0) -> None:
+        pass
+
+    def get(self, name: str) -> "_NullTimer":
+        return self
+
+    def total(self, prefix: str = "") -> float:
+        return 0.0
+
+
+null_timer = _NullTimer()

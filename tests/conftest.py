@@ -1,0 +1,31 @@
+"""Shared fixtures: small generated problems, cached per session."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hpcg.problem import generate_problem
+
+
+@pytest.fixture(scope="session")
+def problem8():
+    """An 8x8x8 HPCG problem (n=512), reference b-style."""
+    return generate_problem(8)
+
+
+@pytest.fixture(scope="session")
+def problem4():
+    """A 4x4x4 HPCG problem (n=64)."""
+    return generate_problem(4)
+
+
+@pytest.fixture(scope="session")
+def problem16():
+    """A 16x16x16 HPCG problem (n=4096) for integration tests."""
+    return generate_problem(16)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)

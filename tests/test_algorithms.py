@@ -1,0 +1,150 @@
+"""Graph algorithms on the GraphBLAS substrate, validated vs networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro import graphblas as grb
+from repro.graphblas.algorithms import (
+    bfs_levels,
+    connected_components,
+    pagerank,
+    sssp,
+    triangle_count,
+)
+from repro.util.errors import InvalidValue
+
+
+def digraph_matrix(edges, n, weights=None):
+    rows = [e[0] for e in edges]
+    cols = [e[1] for e in edges]
+    vals = weights if weights is not None else [1.0] * len(edges)
+    return grb.Matrix.from_coo(rows, cols, vals, n, n)
+
+
+def undirected_matrix(edges, n):
+    rows = [e[0] for e in edges] + [e[1] for e in edges]
+    cols = [e[1] for e in edges] + [e[0] for e in edges]
+    vals = [1.0] * (2 * len(edges))
+    return grb.Matrix.from_coo(rows, cols, vals, n, n)
+
+
+@pytest.fixture(scope="module")
+def random_digraph():
+    g = nx.gnp_random_graph(30, 0.12, seed=5, directed=True)
+    edges = list(g.edges())
+    return g, digraph_matrix(edges, 30)
+
+
+@pytest.fixture(scope="module")
+def random_undirected():
+    g = nx.gnp_random_graph(25, 0.2, seed=9)
+    return g, undirected_matrix(list(g.edges()), 25)
+
+
+class TestBfs:
+    def test_chain(self):
+        A = digraph_matrix([(0, 1), (1, 2), (2, 3)], 5)
+        np.testing.assert_array_equal(bfs_levels(A, 0), [0, 1, 2, 3, -1])
+
+    def test_matches_networkx(self, random_digraph):
+        g, A = random_digraph
+        got = bfs_levels(A, 0)
+        expected = nx.single_source_shortest_path_length(g, 0)
+        for v in range(30):
+            assert got[v] == expected.get(v, -1)
+
+    def test_source_out_of_range(self):
+        with pytest.raises(InvalidValue):
+            bfs_levels(grb.Matrix.identity(3), 5)
+
+    def test_requires_square(self):
+        with pytest.raises(InvalidValue):
+            bfs_levels(grb.Matrix.from_coo([0], [1], [1.0], 1, 2), 0)
+
+
+class TestSssp:
+    def test_weighted_chain(self):
+        A = digraph_matrix([(0, 1), (1, 2)], 3, weights=[2.5, 4.0])
+        np.testing.assert_allclose(sssp(A, 0), [0.0, 2.5, 6.5])
+
+    def test_matches_networkx(self, random_digraph):
+        g, _ = random_digraph
+        rng = np.random.default_rng(3)
+        edges = list(g.edges())
+        weights = rng.uniform(0.1, 5.0, len(edges)).tolist()
+        A = digraph_matrix(edges, 30, weights)
+        wg = nx.DiGraph()
+        wg.add_nodes_from(range(30))
+        wg.add_weighted_edges_from(
+            (u, v, w) for (u, v), w in zip(edges, weights)
+        )
+        expected = nx.single_source_dijkstra_path_length(wg, 0)
+        got = sssp(A, 0)
+        for v in range(30):
+            if v in expected:
+                assert got[v] == pytest.approx(expected[v])
+            else:
+                assert got[v] == np.inf
+
+    def test_unreachable_is_inf(self):
+        A = digraph_matrix([(0, 1)], 3, weights=[1.0])
+        assert sssp(A, 0)[2] == np.inf
+
+
+class TestPagerank:
+    def test_sums_to_one(self, random_digraph):
+        _, A = random_digraph
+        ranks, iters = pagerank(A)
+        assert ranks.sum() == pytest.approx(1.0, abs=1e-6)
+        assert 0 < iters <= 100
+
+    def test_matches_networkx(self, random_digraph):
+        g, A = random_digraph
+        ranks, _ = pagerank(A, damping=0.85, tolerance=1e-12)
+        expected = nx.pagerank(g, alpha=0.85, tol=1e-12)
+        for v in range(30):
+            assert ranks[v] == pytest.approx(expected[v], abs=1e-6)
+
+    def test_bad_damping(self):
+        with pytest.raises(InvalidValue):
+            pagerank(grb.Matrix.identity(3), damping=1.5)
+
+    def test_star_graph_center_wins(self):
+        # spokes all link to the hub
+        A = digraph_matrix([(1, 0), (2, 0), (3, 0), (4, 0)], 5)
+        ranks, _ = pagerank(A)
+        assert ranks[0] == ranks.max()
+
+
+class TestTriangles:
+    def test_triangle(self):
+        A = undirected_matrix([(0, 1), (1, 2), (0, 2)], 3)
+        assert triangle_count(A) == 1
+
+    def test_square_no_triangle(self):
+        A = undirected_matrix([(0, 1), (1, 2), (2, 3), (3, 0)], 4)
+        assert triangle_count(A) == 0
+
+    def test_matches_networkx(self, random_undirected):
+        g, A = random_undirected
+        expected = sum(nx.triangles(g).values()) // 3
+        assert triangle_count(A) == expected
+
+
+class TestConnectedComponents:
+    def test_two_components(self):
+        A = undirected_matrix([(0, 1), (2, 3)], 5)
+        labels = connected_components(A)
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+        assert labels[4] == 4  # isolated keeps its own id
+
+    def test_matches_networkx(self, random_undirected):
+        g, A = random_undirected
+        labels = connected_components(A)
+        for comp in nx.connected_components(g):
+            comp = sorted(comp)
+            assert len({labels[v] for v in comp}) == 1
+            assert labels[comp[0]] == max(comp)

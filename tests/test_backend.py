@@ -1,0 +1,77 @@
+"""Instrumentation backend: collectors, labels, event logs."""
+
+from repro import graphblas as grb
+from repro.graphblas import backend
+from repro.graphblas.backend import EventLog, PerfEvent
+
+
+class TestCollect:
+    def test_no_collector_by_default(self):
+        assert not backend.active()
+        backend.record("mxv", 1, 1, 1, 1)  # must not raise
+
+    def test_collect_scoped(self):
+        log = EventLog()
+        with backend.collect(log):
+            assert backend.active()
+            backend.record("mxv", 2, 10, 20, 160)
+        assert not backend.active()
+        assert log.count() == 1
+
+    def test_nested_collectors_restore(self):
+        outer, inner = EventLog(), EventLog()
+        with backend.collect(outer):
+            backend.record("a", 1, 0, 0, 0)
+            with backend.collect(inner):
+                backend.record("b", 1, 0, 0, 0)
+            backend.record("c", 1, 0, 0, 0)
+        assert [e.op for e in outer.events] == ["a", "c"]
+        assert [e.op for e in inner.events] == ["b"]
+
+
+class TestLabels:
+    def test_label_applied(self):
+        log = EventLog()
+        with backend.collect(log), backend.labelled("rbgs"):
+            backend.record("mxv", 1, 1, 1, 1)
+        assert log.events[0].label == "rbgs"
+
+    def test_nested_labels_innermost_wins(self):
+        log = EventLog()
+        with backend.collect(log), backend.labelled("outer"):
+            with backend.labelled("inner"):
+                backend.record("mxv", 1, 1, 1, 1)
+            backend.record("mxv", 1, 1, 1, 1)
+        assert [e.label for e in log.events] == ["inner", "outer"]
+
+    def test_label_cleared_after(self):
+        log = EventLog()
+        with backend.collect(log):
+            with backend.labelled("x"):
+                pass
+            backend.record("mxv", 1, 1, 1, 1)
+        assert log.events[0].label == ""
+
+
+class TestEventLog:
+    def test_totals_by_field(self):
+        log = EventLog()
+        log(PerfEvent("mxv", 2, 10, 20, 100, "a"))
+        log(PerfEvent("dot", 1, 0, 8, 32, "b"))
+        assert log.total("flops") == 28
+        assert log.total("bytes", op="mxv") == 100
+        assert log.total("flops", label="b") == 8
+
+    def test_count_filter(self):
+        log = EventLog()
+        log(PerfEvent("mxv", 1, 1, 1, 1))
+        log(PerfEvent("mxv", 1, 1, 1, 1))
+        log(PerfEvent("dot", 1, 1, 1, 1))
+        assert log.count("mxv") == 2
+        assert log.count() == 3
+
+    def test_clear(self):
+        log = EventLog()
+        log(PerfEvent("mxv", 1, 1, 1, 1))
+        log.clear()
+        assert log.count() == 0

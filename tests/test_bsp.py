@@ -1,0 +1,50 @@
+"""BSP cost model."""
+
+import numpy as np
+import pytest
+
+from repro.dist.bsp import ARM_CLUSTER_NODE, BSPMachine, X86_NODE, bsp_time, tracker_comm_time
+from repro.dist.comm import CommTracker
+from repro.util.errors import InvalidValue
+
+
+class TestMachine:
+    def test_superstep_time_components(self):
+        m = BSPMachine("toy", mem_bandwidth=100.0, net_bandwidth=10.0,
+                       latency=1.0)
+        # 200 work bytes / 100 + 50 h bytes / 10 + 1 = 2 + 5 + 1
+        assert m.superstep_time(200, 50) == pytest.approx(8.0)
+
+    def test_zero_comm_still_costs_latency(self):
+        m = BSPMachine("toy", 100.0, 10.0, 0.5)
+        assert m.superstep_time(0, 0) == 0.5
+
+    def test_invalid_rates(self):
+        with pytest.raises(InvalidValue):
+            BSPMachine("bad", 0.0, 1.0, 0.0)
+        with pytest.raises(InvalidValue):
+            BSPMachine("bad", 1.0, 1.0, -1.0)
+
+    def test_presets_sane(self):
+        assert ARM_CLUSTER_NODE.mem_bandwidth > X86_NODE.mem_bandwidth
+        assert ARM_CLUSTER_NODE.net_bandwidth == X86_NODE.net_bandwidth
+
+
+class TestBspTime:
+    def test_accumulates(self):
+        t = CommTracker(2)
+        t.send(0, 1, 100)
+        t.sync()
+        t.send(1, 0, 200)
+        t.sync()
+        m = BSPMachine("toy", 1000.0, 100.0, 0.0)
+        total = bsp_time(m, t.supersteps, [500.0, 1000.0])
+        # (500/1000 + 100/100) + (1000/1000 + 200/100)
+        assert total == pytest.approx(0.5 + 1.0 + 1.0 + 2.0)
+
+    def test_tracker_comm_time(self):
+        t = CommTracker(2)
+        t.send(0, 1, 100)
+        t.sync()
+        m = BSPMachine("toy", 1000.0, 100.0, 0.25)
+        assert tracker_comm_time(m, t) == pytest.approx(1.0 + 0.25)

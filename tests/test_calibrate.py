@@ -1,0 +1,46 @@
+"""Machine calibration on the current host."""
+
+import pytest
+
+from repro.hpcg.problem import generate_problem
+from repro.perf.calibrate import (
+    calibrate,
+    measure_triad_bandwidth,
+    this_machine,
+)
+from repro.perf.model import ALP_PROFILE, Placement, ScalingModel
+
+
+class TestTriad:
+    def test_positive_bandwidth(self):
+        bw = measure_triad_bandwidth(size=500_000, repeats=2)
+        assert bw > 1e8  # any machine manages 100 MB/s
+
+    def test_repeatable_order_of_magnitude(self):
+        a = measure_triad_bandwidth(size=500_000, repeats=2)
+        b = measure_triad_bandwidth(size=500_000, repeats=2)
+        assert 0.2 < a / b < 5.0
+
+
+class TestCalibrate:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return calibrate(generate_problem(8), mg_levels=3, iterations=2)
+
+    def test_fields_positive(self, result):
+        assert result.triad_bandwidth > 0
+        assert result.kernel_bandwidth > 0
+        assert result.kernel_seconds > 0
+        assert result.stream_bytes > 0
+
+    def test_kernels_below_triad(self, result):
+        """Sparse kernels (with Python overhead) cannot beat the dense
+        triad by much; efficiency stays in a sane band."""
+        assert result.efficiency < 2.0
+
+    def test_this_machine_spec_usable(self):
+        spec = this_machine()
+        assert spec.physical_cores >= 1
+        model = ScalingModel(spec, ALP_PROFILE)
+        t = model.time_for_bytes(1e9, Placement(1, 1))
+        assert t > 0

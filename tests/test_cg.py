@@ -1,0 +1,103 @@
+"""The CG solver: convergence, fixed-iteration mode, preconditioning."""
+
+import numpy as np
+import pytest
+
+from repro import graphblas as grb
+from repro.hpcg.cg import pcg
+from repro.hpcg.multigrid import MGPreconditioner, build_hierarchy
+from repro.util.errors import DimensionMismatch
+from repro.util.timer import TimerRegistry
+
+
+class TestPlainCG:
+    def test_converges_to_exact(self, problem8):
+        x = problem8.x0.dup()
+        res = pcg(problem8.A, problem8.b, x, max_iters=200, tolerance=1e-10)
+        assert res.converged
+        np.testing.assert_allclose(x.to_dense(), np.ones(problem8.n),
+                                   rtol=1e-6)
+
+    def test_matches_scipy_solution(self, problem4, rng):
+        import scipy.sparse.linalg as spla
+        b = rng.standard_normal(problem4.n)
+        bx = grb.Vector.from_dense(b)
+        x = grb.Vector.dense(problem4.n, 0.0)
+        pcg(problem4.A, bx, x, max_iters=300, tolerance=1e-12)
+        expected = spla.spsolve(problem4.A.to_scipy().tocsc(), b)
+        np.testing.assert_allclose(x.to_dense(), expected, rtol=1e-6)
+
+    def test_residual_history_monotone_overall(self, problem8):
+        x = problem8.x0.dup()
+        res = pcg(problem8.A, problem8.b, x, max_iters=20)
+        assert res.residuals[-1] < res.residuals[0]
+
+    def test_fixed_iterations_mode(self, problem8):
+        x = problem8.x0.dup()
+        res = pcg(problem8.A, problem8.b, x, max_iters=7, tolerance=0.0)
+        assert res.iterations == 7
+        assert not res.converged  # convergence flag needs a tolerance
+        assert len(res.residuals) == 8  # initial + one per iteration
+
+    def test_tolerance_early_exit(self, problem8):
+        x = problem8.x0.dup()
+        res = pcg(problem8.A, problem8.b, x, max_iters=500, tolerance=1e-6)
+        assert res.converged and res.iterations < 500
+        assert res.relative_residual <= 1e-6
+
+    def test_size_checks(self, problem4):
+        with pytest.raises(DimensionMismatch):
+            pcg(problem4.A, grb.Vector.dense(3), problem4.x0.dup())
+
+
+class TestPreconditionedCG:
+    def test_mg_reduces_iterations(self, problem16):
+        tol = 1e-8
+        x1 = problem16.x0.dup()
+        plain = pcg(problem16.A, problem16.b, x1, max_iters=500, tolerance=tol)
+        precond = MGPreconditioner(build_hierarchy(problem16, levels=4))
+        x2 = problem16.x0.dup()
+        mg = pcg(problem16.A, problem16.b, x2, preconditioner=precond,
+                 max_iters=500, tolerance=tol)
+        assert mg.converged and plain.converged
+        assert mg.iterations < plain.iterations
+
+    def test_mg_solution_correct(self, problem8):
+        precond = MGPreconditioner(build_hierarchy(problem8, levels=3))
+        x = problem8.x0.dup()
+        pcg(problem8.A, problem8.b, x, preconditioner=precond,
+            max_iters=100, tolerance=1e-10)
+        np.testing.assert_allclose(x.to_dense(), np.ones(problem8.n),
+                                   rtol=1e-6)
+
+    def test_timers_populated(self, problem8):
+        timers = TimerRegistry()
+        precond = MGPreconditioner(build_hierarchy(problem8, levels=2),
+                                   timers=timers)
+        x = problem8.x0.dup()
+        pcg(problem8.A, problem8.b, x, preconditioner=precond,
+            max_iters=3, timers=timers)
+        assert timers.total("cg/spmv") > 0
+        assert timers.total("cg/dot") > 0
+        assert timers.total("cg/mg") > 0
+        assert timers.total("mg/L0/rbgs") > 0
+
+    def test_exact_initial_guess_short_circuits(self, problem8):
+        x = problem8.exact.dup()
+        res = pcg(problem8.A, problem8.b, x, max_iters=3, tolerance=1e-8)
+        assert res.normr0 == pytest.approx(0.0, abs=1e-9)
+        assert res.converged and res.iterations == 0
+
+
+class TestCGResult:
+    def test_relative_residual(self, problem8):
+        x = problem8.x0.dup()
+        res = pcg(problem8.A, problem8.b, x, max_iters=5)
+        assert res.relative_residual == pytest.approx(
+            res.normr / res.normr0
+        )
+
+    def test_x_is_inplace(self, problem8):
+        x = problem8.x0.dup()
+        res = pcg(problem8.A, problem8.b, x, max_iters=5)
+        assert res.x is x

@@ -1,0 +1,125 @@
+"""Colouring: greedy, lattice, masks, validity."""
+
+import numpy as np
+import pytest
+
+from repro import graphblas as grb
+from repro.graphblas.io import random_matrix
+from repro.hpcg.coloring import (
+    color_masks,
+    coloring_for_problem,
+    greedy_coloring,
+    lattice_coloring,
+    num_colors,
+    validate_coloring,
+)
+from repro.util.errors import InvalidValue
+
+
+class TestGreedy:
+    def test_finds_eight_colors_on_hpcg(self, problem8):
+        colors = greedy_coloring(problem8.A)
+        assert num_colors(colors) == 8
+
+    def test_valid_on_hpcg(self, problem8):
+        assert validate_coloring(problem8.A, greedy_coloring(problem8.A))
+
+    def test_equals_lattice_on_hpcg(self, problem8):
+        np.testing.assert_array_equal(
+            greedy_coloring(problem8.A), lattice_coloring(problem8.grid)
+        )
+
+    def test_valid_on_random_symmetric(self, rng):
+        M = random_matrix(40, 40, 0.1, rng=rng)
+        S = grb.Matrix.from_scipy(M.to_scipy() + M.to_scipy().T)
+        colors = greedy_coloring(S)
+        assert validate_coloring(S, colors)
+
+    def test_requires_square(self):
+        with pytest.raises(InvalidValue):
+            greedy_coloring(grb.Matrix.from_coo([0], [1], [1.0], 1, 2))
+
+    def test_diagonal_only_matrix_one_color(self):
+        colors = greedy_coloring(grb.Matrix.identity(5))
+        assert num_colors(colors) == 1
+
+    def test_custom_order(self, problem4):
+        order = np.arange(64)[::-1]
+        colors = greedy_coloring(problem4.A, order=order)
+        assert validate_coloring(problem4.A, colors)
+
+    def test_contiguous_color_ids(self, problem8):
+        colors = greedy_coloring(problem8.A)
+        assert set(np.unique(colors)) == set(range(num_colors(colors)))
+
+
+class TestLattice:
+    def test_eight_colors(self):
+        from repro.grid import Grid3D
+        colors = lattice_coloring(Grid3D(4, 4, 4))
+        assert num_colors(colors) == 8
+
+    def test_valid(self, problem8):
+        assert validate_coloring(problem8.A, lattice_coloring(problem8.grid))
+
+    def test_color_of_origin(self):
+        from repro.grid import Grid3D
+        g = Grid3D(2, 2, 2)
+        colors = lattice_coloring(g)
+        assert colors[g.index(0, 0, 0)] == 0
+        assert colors[g.index(1, 0, 0)] == 1
+        assert colors[g.index(0, 1, 0)] == 2
+        assert colors[g.index(0, 0, 1)] == 4
+
+    def test_balanced_on_even_grid(self):
+        from repro.grid import Grid3D
+        colors = lattice_coloring(Grid3D(4, 4, 4))
+        counts = np.bincount(colors)
+        assert (counts == 8).all()
+
+
+class TestMasks:
+    def test_masks_partition_indices(self, problem8):
+        colors = lattice_coloring(problem8.grid)
+        masks = color_masks(colors)
+        assert len(masks) == 8
+        total = sum(m.nvals for m in masks)
+        assert total == problem8.n
+        # disjointness
+        seen = np.zeros(problem8.n, dtype=int)
+        for m in masks:
+            idx, _ = m.to_coo()
+            seen[idx] += 1
+        assert (seen == 1).all()
+
+    def test_masks_are_bool(self, problem4):
+        masks = color_masks(lattice_coloring(problem4.grid))
+        assert all(m.dtype == np.bool_ for m in masks)
+
+
+class TestSchemeSelection:
+    def test_auto_with_grid_uses_lattice(self, problem8):
+        colors = coloring_for_problem(problem8.A, problem8.grid, "auto")
+        np.testing.assert_array_equal(colors, lattice_coloring(problem8.grid))
+
+    def test_auto_without_grid_uses_greedy(self, problem4):
+        colors = coloring_for_problem(problem4.A, None, "auto")
+        assert validate_coloring(problem4.A, colors)
+
+    def test_explicit_greedy(self, problem4):
+        colors = coloring_for_problem(problem4.A, problem4.grid, "greedy")
+        assert num_colors(colors) == 8
+
+    def test_lattice_needs_grid(self, problem4):
+        with pytest.raises(InvalidValue):
+            coloring_for_problem(problem4.A, None, "lattice")
+
+    def test_unknown_scheme(self, problem4):
+        with pytest.raises(InvalidValue):
+            coloring_for_problem(problem4.A, problem4.grid, "rainbow")
+
+
+class TestValidate:
+    def test_detects_bad_coloring(self, problem4):
+        colors = np.zeros(64, dtype=np.int64)  # everything same colour
+        assert not validate_coloring(problem4.A, colors)

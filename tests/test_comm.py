@@ -1,0 +1,112 @@
+"""CommTracker: sends, supersteps, h-relations."""
+
+import numpy as np
+import pytest
+
+from repro.dist.comm import CommTracker
+from repro.util.errors import InvalidValue
+
+
+class TestSend:
+    def test_basic_send(self):
+        t = CommTracker(3)
+        t.send(0, 1, 100)
+        stats = t.sync()
+        assert stats.sent[0] == 100 and stats.received[1] == 100
+        assert stats.messages == 1
+
+    def test_self_send_free(self):
+        t = CommTracker(2)
+        t.send(0, 0, 1000)
+        assert t.sync().total_bytes == 0
+
+    def test_empty_message_elided(self):
+        t = CommTracker(2)
+        t.send(0, 1, 0)
+        assert t.sync().messages == 0
+
+    def test_out_of_range(self):
+        t = CommTracker(2)
+        with pytest.raises(InvalidValue):
+            t.send(0, 2, 10)
+        with pytest.raises(InvalidValue):
+            t.send(-1, 0, 10)
+
+    def test_negative_bytes(self):
+        t = CommTracker(2)
+        with pytest.raises(InvalidValue):
+            t.send(0, 1, -5)
+
+    def test_zero_procs_rejected(self):
+        with pytest.raises(InvalidValue):
+            CommTracker(0)
+
+
+class TestCollectives:
+    def test_broadcast(self):
+        t = CommTracker(4)
+        t.broadcast(1, 10)
+        stats = t.sync()
+        assert stats.sent[1] == 30  # 3 receivers
+        assert stats.received[0] == 10
+
+    def test_allgather(self):
+        t = CommTracker(3)
+        t.allgather(np.array([10, 20, 30]))
+        stats = t.sync()
+        np.testing.assert_array_equal(stats.sent, [20, 40, 60])
+        # everyone receives everyone else's share
+        np.testing.assert_array_equal(stats.received, [50, 40, 30])
+
+    def test_allgather_size_check(self):
+        t = CommTracker(3)
+        with pytest.raises(InvalidValue):
+            t.allgather(np.array([1, 2]))
+
+    def test_allreduce_scalar(self):
+        t = CommTracker(4)
+        t.allreduce_scalar()
+        stats = t.sync()
+        assert stats.sent[0] == 24  # 8 bytes to 3 peers
+
+
+class TestSupersteps:
+    def test_h_relation(self):
+        t = CommTracker(3)
+        t.send(0, 1, 100)
+        t.send(2, 1, 50)
+        stats = t.sync()
+        # node 1 receives 150 — that's the h
+        assert stats.h == 150
+
+    def test_sync_resets(self):
+        t = CommTracker(2)
+        t.send(0, 1, 10)
+        t.sync()
+        stats2 = t.sync()
+        assert stats2.total_bytes == 0 and stats2.index == 1
+
+    def test_label_accounting(self):
+        t = CommTracker(2)
+        t.send(0, 1, 10, label="halo")
+        t.sync(label="halo")
+        t.send(0, 1, 20, label="spmv")
+        t.sync(label="spmv")
+        assert t.label_bytes == {"halo": 10, "spmv": 20}
+        assert t.label_syncs == {"halo": 1, "spmv": 1}
+
+    def test_totals(self):
+        t = CommTracker(2)
+        t.send(0, 1, 10)
+        t.sync()
+        t.send(1, 0, 30)
+        t.sync()
+        assert t.total_bytes == 40
+        assert t.num_syncs == 2
+        assert t.total_h == 40
+        assert t.max_send_per_node() == 30
+
+    def test_empty_tracker(self):
+        t = CommTracker(2)
+        assert t.max_send_per_node() == 0
+        assert t.total_h == 0

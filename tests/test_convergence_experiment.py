@@ -1,0 +1,36 @@
+"""The convergence-equivalence regenerator."""
+
+import pytest
+
+from repro.experiments import convergence
+
+
+@pytest.fixture(scope="module")
+def result():
+    return convergence.run(nx=8, iterations=6, mg_levels=3, nprocs=4)
+
+
+class TestConvergenceExperiment:
+    def test_all_claims(self, result):
+        claims = result.shape_claims()
+        assert all(claims.values()), claims
+
+    def test_exact_variants_identical(self, result):
+        spread = result.max_relative_spread(
+            ["alp", "ref", "dist-1d", "dist-ref", "dist-2d"]
+        )
+        assert spread < 1e-12
+
+    def test_symgs_history_differs_from_rbgs(self, result):
+        """Different smoothers: histories must NOT be identical (or the
+        substitution study would be vacuous)."""
+        assert result.histories["ref-symgs"] != result.histories["alp"]
+
+    def test_render(self, result):
+        text = convergence.render(result)
+        assert "Convergence equivalence" in text and "FAIL" not in text
+
+    def test_cli(self, capsys):
+        from repro.experiments.__main__ import main
+        assert main(["convergence", "--iters", "3"]) == 0
+        assert "Convergence" in capsys.readouterr().out

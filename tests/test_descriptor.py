@@ -1,0 +1,40 @@
+"""Descriptors: flags, combination, presets."""
+
+from repro.graphblas import descriptor as d
+
+
+class TestDescriptor:
+    def test_default_all_false(self):
+        assert not any(
+            (d.default.transpose_matrix, d.default.structural,
+             d.default.invert_mask, d.default.replace)
+        )
+
+    def test_presets(self):
+        assert d.structural.structural
+        assert d.transpose_matrix.transpose_matrix
+        assert d.invert_mask.invert_mask
+        assert d.replace.replace
+
+    def test_or_combines(self):
+        combined = d.structural | d.transpose_matrix
+        assert combined.structural and combined.transpose_matrix
+        assert not combined.replace
+
+    def test_structural_transpose_preset(self):
+        assert d.structural_transpose.structural
+        assert d.structural_transpose.transpose_matrix
+
+    def test_with_override(self):
+        desc = d.structural.with_(replace=True)
+        assert desc.structural and desc.replace
+        # original untouched (frozen)
+        assert not d.structural.replace
+
+    def test_immutable(self):
+        import pytest
+        with pytest.raises(Exception):
+            d.default.structural = True
+
+    def test_or_identity(self):
+        assert (d.default | d.structural) == d.structural

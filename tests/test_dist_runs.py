@@ -1,0 +1,128 @@
+"""Simulated distributed runs: correctness and the Table-I behaviours."""
+
+import numpy as np
+import pytest
+
+from repro.dist import HybridALPRun, RefDistRun, factor3
+from repro.dist.hybrid import _allgather_matrix
+from repro.dist.partition import BlockCyclic1D
+from repro.hpcg.driver import run_hpcg
+from repro.hpcg.problem import generate_problem
+from repro.util.errors import InvalidValue
+
+
+@pytest.fixture(scope="module")
+def dist_problem():
+    # p=4 -> (1,2,2): global grid 8x16x16, local 8^3 per node
+    return generate_problem(8, 16, 16)
+
+
+class TestHybridALP:
+    def test_residuals_match_serial(self, dist_problem):
+        run = HybridALPRun(dist_problem, nprocs=4, mg_levels=3)
+        res = run.run_cg(max_iters=5)
+        serial = run_hpcg(nx=0, problem=dist_problem, max_iters=5,
+                          mg_levels=3, validate_symmetry=False)
+        np.testing.assert_allclose(res.residuals, serial.cg.residuals,
+                                   rtol=1e-12)
+
+    def test_allgather_volume_formula(self, dist_problem):
+        """Per-mxv traffic is exactly n/p values to each of p-1 peers."""
+        run = HybridALPRun(dist_problem, nprocs=4, mg_levels=1)
+        res = run.run_cg(max_iters=1, use_mg=False)
+        n = dist_problem.n
+        expected = (n // 4) * 8 * 3
+        assert res.tracker.max_send_per_node() == expected
+
+    def test_allgather_matrix_zero_diag(self):
+        part = BlockCyclic1D(100, 4, block=8)
+        m = _allgather_matrix(part)
+        assert (np.diag(m) == 0).all()
+        assert m.sum() == sum(part.local_size(k) for k in range(4)) * 8 * 3
+
+    def test_comm_grows_linearly_with_p(self):
+        """The Table-I ALP column: per-node send ~ n (p-1)/p."""
+        sends = {}
+        for p in (2, 4):
+            px, py, pz = factor3(p)
+            prob = generate_problem(8 * px, 8 * py, 8 * pz)
+            run = HybridALPRun(prob, nprocs=p, mg_levels=1)
+            res = run.run_cg(max_iters=1, use_mg=False)
+            sends[p] = res.tracker.max_send_per_node() / prob.n
+        # n(p-1)/p /n = (p-1)/p: 0.5 at p=2, 0.75 at p=4
+        assert sends[2] == pytest.approx(0.5 * 8, rel=0.05)
+        assert sends[4] == pytest.approx(0.75 * 8, rel=0.05)
+
+    def test_every_mxv_synchronises(self, dist_problem):
+        run = HybridALPRun(dist_problem, nprocs=2, mg_levels=2)
+        res = run.run_cg(max_iters=1)
+        # one sync per colour per sweep: the fine level runs pre+post
+        # symmetric passes (2 x fwd+bwd = 4 sweeps), the coarsest level
+        # only its single pre-smoothing pass (2 sweeps): (4+2) x 8 colours.
+        rbgs_syncs = sum(1 for s in res.tracker.supersteps
+                         if s.label == "rbgs_mxv")
+        assert rbgs_syncs == (4 + 2) * 8
+
+    def test_single_node_no_comm(self, dist_problem):
+        run = HybridALPRun(dist_problem, nprocs=1, mg_levels=2)
+        res = run.run_cg(max_iters=2)
+        assert res.comm_bytes == 0
+
+    def test_invalid_nprocs(self, dist_problem):
+        with pytest.raises(InvalidValue):
+            HybridALPRun(dist_problem, nprocs=0)
+
+
+class TestRefDist:
+    def test_residuals_match_serial(self, dist_problem):
+        run = RefDistRun(dist_problem, nprocs=4, mg_levels=3)
+        res = run.run_cg(max_iters=5)
+        serial = run_hpcg(nx=0, problem=dist_problem, max_iters=5,
+                          mg_levels=3, validate_symmetry=False)
+        np.testing.assert_allclose(res.residuals, serial.cg.residuals,
+                                   rtol=1e-12)
+
+    def test_halo_is_surface_not_volume(self, dist_problem):
+        run = RefDistRun(dist_problem, nprocs=4, mg_levels=1)
+        level = run.levels[0]
+        per_node_send = np.zeros(4, dtype=np.int64)
+        for (src, _dst), nbytes in level.spmv_halo.items():
+            per_node_send[src] += nbytes
+        n_local = dist_problem.n // 4
+        # halo ~ O(local^{2/3}) while volume is local; require well below
+        assert per_node_send.max() // 8 < n_local / 2
+
+    def test_color_halos_partition_full_halo(self, dist_problem):
+        """Per-colour halos sum to the full spmv halo (same points, each
+        carrying exactly one colour)."""
+        run = RefDistRun(dist_problem, nprocs=4, mg_levels=1)
+        level = run.levels[0]
+        total_color = {}
+        for per in level.color_halo:
+            for pair, nbytes in per.items():
+                total_color[pair] = total_color.get(pair, 0) + nbytes
+        assert total_color == level.spmv_halo
+
+    def test_restriction_is_local(self, dist_problem):
+        run = RefDistRun(dist_problem, nprocs=4, mg_levels=3)
+        res = run.run_cg(max_iters=2)
+        assert res.tracker.label_bytes.get("restrict", 0) == 0
+        assert res.tracker.label_bytes.get("refine", 0) == 0
+
+    def test_comm_far_below_alp(self, dist_problem):
+        ref = RefDistRun(dist_problem, nprocs=4, mg_levels=3).run_cg(max_iters=3)
+        alp = HybridALPRun(dist_problem, nprocs=4, mg_levels=3).run_cg(max_iters=3)
+        assert ref.comm_bytes * 10 < alp.comm_bytes
+
+    def test_explicit_process_grid(self):
+        prob = generate_problem(8, 8, 16)
+        run = RefDistRun(prob, nprocs=2, mg_levels=2, process_grid=(1, 1, 2))
+        res = run.run_cg(max_iters=2)
+        assert res.nprocs == 2
+
+    def test_summary_and_breakdown(self, dist_problem):
+        res = RefDistRun(dist_problem, nprocs=4, mg_levels=3).run_cg(max_iters=2)
+        assert "ref-3d" in res.summary()
+        rows = res.mg_level_breakdown()
+        assert len(rows) == 3
+        assert all(0 <= r["rbgs"] <= 1 for r in rows)

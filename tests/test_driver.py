@@ -1,0 +1,79 @@
+"""The HPCG benchmark driver end-to-end."""
+
+import pytest
+
+from repro.hpcg.driver import main, run_hpcg
+
+
+class TestRunHpcg:
+    def test_end_to_end(self):
+        result = run_hpcg(nx=8, max_iters=10, mg_levels=3)
+        assert result.cg.iterations == 10
+        assert result.symmetry.passed
+        assert result.run_seconds > 0
+        assert result.gflops > 0
+
+    def test_converges_with_tolerance(self):
+        result = run_hpcg(nx=8, max_iters=100, tolerance=1e-8, mg_levels=3,
+                          validate_symmetry=False)
+        assert result.cg.converged
+
+    def test_no_preconditioner(self):
+        result = run_hpcg(nx=8, max_iters=10, mg_levels=0,
+                          validate_symmetry=False)
+        assert result.cg.iterations == 10
+
+    def test_flops_accounting(self):
+        result = run_hpcg(nx=8, max_iters=10, mg_levels=3,
+                          validate_symmetry=False)
+        counts = result.flops.merged()
+        assert counts["spmv"] > 0 and counts["rbgs"] > 0
+        assert counts["rbgs"] > counts["spmv"]  # RBGS dominates flops too
+        assert result.flops.total == sum(counts.values())
+
+    def test_mg_level_breakdown_shares(self):
+        result = run_hpcg(nx=8, max_iters=10, mg_levels=3,
+                          validate_symmetry=False)
+        rows = result.mg_level_breakdown()
+        assert len(rows) == 3
+        total_share = sum(r["rbgs"] + r["restrict_refine"] for r in rows)
+        assert 0 < total_share <= 1.0
+        # coarsest level performs no grid transfer
+        assert rows[-1]["restrict_refine"] == 0.0
+
+    def test_rbgs_majority_of_time(self):
+        """The paper's headline breakdown: RBGS > 50% of execution."""
+        result = run_hpcg(nx=8, max_iters=10, mg_levels=3,
+                          validate_symmetry=False)
+        rbgs = sum(r["rbgs"] for r in result.mg_level_breakdown())
+        assert rbgs > 0.5
+
+    def test_summary_renders(self):
+        result = run_hpcg(nx=4, max_iters=3, mg_levels=2,
+                          validate_symmetry=False)
+        text = result.summary()
+        assert "HPCG result" in text and "GFLOP/s" in text
+
+    def test_b_style_ones(self):
+        result = run_hpcg(nx=4, max_iters=3, mg_levels=2, b_style="ones",
+                          validate_symmetry=False)
+        assert result.problem.b_style == "ones"
+
+    def test_reuse_problem(self, problem8):
+        result = run_hpcg(nx=0, problem=problem8, max_iters=3, mg_levels=2,
+                          validate_symmetry=False)
+        assert result.problem is problem8
+
+
+class TestCli:
+    def test_main_ok(self, capsys):
+        rc = main(["--nx", "4", "--iters", "3", "--mg-levels", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "HPCG result" in out
+
+    def test_main_with_timers(self, capsys):
+        rc = main(["--nx", "4", "--iters", "2", "--mg-levels", "2",
+                   "--timers"])
+        assert rc == 0
+        assert "mg/L0/rbgs" in capsys.readouterr().out

@@ -1,0 +1,79 @@
+"""Experiment-layer helpers: table/chart rendering, DistRunResult."""
+
+import numpy as np
+import pytest
+
+from repro.dist.comm import CommTracker
+from repro.dist.result import DistRunResult
+from repro.experiments.common import ascii_series, format_table
+from repro.util.timer import TimerRegistry
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        text = format_table(["a", "long header"], [(1, 2.5), (300, 4.0)])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert set(lines[1]) <= {"-", " "}
+        assert "300" in lines[3]
+
+    def test_float_formats(self):
+        text = format_table(["x"], [(0.0,), (1.23456789,), (1e-7,), (1e9,)])
+        assert "0" in text
+        assert "1.235" in text
+        assert "1.000e-07" in text
+        assert "1.000e+09" in text
+
+    def test_strings_pass_through(self):
+        text = format_table(["name"], [("hello",)])
+        assert "hello" in text
+
+
+class TestAsciiSeries:
+    def test_bars_scale(self):
+        chart = ascii_series({"a": [1.0, 2.0]}, ["x1", "x2"], width=10)
+        lines = [ln for ln in chart.splitlines() if "#" in ln]
+        assert len(lines) == 2
+        assert lines[1].count("#") == 10       # max value gets full width
+        assert lines[0].count("#") == 5
+
+    def test_empty_series(self):
+        assert ascii_series({}, []) == ""
+
+
+class TestDistRunResult:
+    def _make(self):
+        tracker = CommTracker(2)
+        tracker.send(0, 1, 100)
+        tracker.sync()
+        timers = TimerRegistry()
+        timers.tick("mg/L0/rbgs", 0.6)
+        timers.tick("mg/L0/restrict", 0.1)
+        timers.tick("mg/L1/rbgs", 0.2)
+        timers.tick("cg/dot", 0.1)
+        return DistRunResult(
+            backend="test", nprocs=2, n=64, iterations=3,
+            residuals=[1.0, 0.1], modelled_seconds=1.0,
+            timers=timers, tracker=tracker, mg_levels=2,
+        )
+
+    def test_properties(self):
+        res = self._make()
+        assert res.final_residual == 0.1
+        assert res.comm_bytes == 100
+        assert res.syncs == 1
+
+    def test_breakdown_shares(self):
+        res = self._make()
+        rows = res.mg_level_breakdown()
+        assert rows[0]["rbgs"] == pytest.approx(0.6)
+        assert rows[0]["restrict_refine"] == pytest.approx(0.1)
+        assert rows[1]["rbgs"] == pytest.approx(0.2)
+
+    def test_summary(self):
+        assert "test: p=2" in self._make().summary()
+
+    def test_empty_residuals_nan(self):
+        res = self._make()
+        res.residuals = []
+        assert np.isnan(res.final_residual)

@@ -1,0 +1,58 @@
+"""Formula flop accounting."""
+
+import pytest
+
+from repro.hpcg.flops import FlopCounts, cg_iteration_flops
+
+
+class TestFlopCounts:
+    def test_add_and_total(self):
+        fc = FlopCounts()
+        fc.add("spmv", 100)
+        fc.add("spmv", 50)
+        fc.add("dot", 10)
+        assert fc.counts["spmv"] == 150
+        assert fc.total == 160
+
+    def test_merged_sorted(self):
+        fc = FlopCounts()
+        fc.add("z", 1)
+        fc.add("a", 2)
+        assert list(fc.merged()) == ["a", "z"]
+
+
+class TestCgIterationFlops:
+    def test_unpreconditioned(self):
+        fc = cg_iteration_flops(n=100, nnz=1000, mg_nnz_per_level=[],
+                                mg_n_per_level=[])
+        assert fc.counts["spmv"] == 2000
+        assert fc.counts["dot"] == 8 * 100
+        assert fc.counts["waxpby"] == 9 * 100
+        assert "rbgs" not in fc.counts
+
+    def test_with_mg_levels(self):
+        fc = cg_iteration_flops(
+            n=512, nnz=10000,
+            mg_nnz_per_level=[10000, 1200, 150],
+            mg_n_per_level=[512, 64, 8],
+        )
+        # pre+post symmetric passes at non-coarsest, one at coarsest
+        assert fc.counts["rbgs"] == 2 * 4 * 10000 + 2 * 4 * 1200 + 1 * 4 * 150
+        # one residual spmv per non-coarsest level
+        assert fc.counts["mg_spmv"] == (2 * 10000 + 2 * 512) + (2 * 1200 + 2 * 64)
+        # one restrict+refine pair per transfer
+        assert fc.counts["restrict"] == 2 * 64 + 2 * 8
+        assert fc.counts["refine"] == fc.counts["restrict"]
+
+    def test_ref_restriction_not_counted(self):
+        alp = cg_iteration_flops(8, 10, [10, 5], [8, 1], grb_restriction=True)
+        ref = cg_iteration_flops(8, 10, [10, 5], [8, 1], grb_restriction=False)
+        assert "restrict" in alp.counts and "restrict" not in ref.counts
+
+    def test_rbgs_dominates(self):
+        fc = cg_iteration_flops(
+            n=4096, nnz=110000,
+            mg_nnz_per_level=[110000, 13000, 1500, 180],
+            mg_n_per_level=[4096, 512, 64, 8],
+        )
+        assert fc.counts["rbgs"] > fc.total / 2

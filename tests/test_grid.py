@@ -1,0 +1,145 @@
+"""Grid geometry: indexing, neighbours, coarsening, injection."""
+
+import numpy as np
+import pytest
+
+from repro.grid import Grid3D, stencil_27pt_coo, stencil_offsets
+from repro.util.errors import InvalidValue
+
+
+class TestIndexing:
+    def test_roundtrip_all_points(self):
+        g = Grid3D(3, 4, 5)
+        i = np.arange(g.npoints)
+        ix, iy, iz = g.coords(i)
+        np.testing.assert_array_equal(g.index(ix, iy, iz), i)
+
+    def test_x_fastest(self):
+        g = Grid3D(4, 4, 4)
+        assert g.index(1, 0, 0) == 1
+        assert g.index(0, 1, 0) == 4
+        assert g.index(0, 0, 1) == 16
+
+    def test_npoints(self):
+        assert Grid3D(2, 3, 4).npoints == 24
+
+    def test_invalid_dims(self):
+        with pytest.raises(InvalidValue):
+            Grid3D(0, 3, 3)
+
+    def test_in_bounds(self):
+        g = Grid3D(2, 2, 2)
+        assert g.in_bounds(0, 0, 0) and g.in_bounds(1, 1, 1)
+        assert not g.in_bounds(2, 0, 0)
+        assert not g.in_bounds(0, -1, 0)
+
+    def test_all_coords_shape(self):
+        g = Grid3D(3, 3, 3)
+        ix, iy, iz = g.all_coords()
+        assert ix.shape == (27,)
+        assert iz[-1] == 2
+
+
+class TestNeighbours:
+    def test_interior_has_26(self):
+        g = Grid3D(3, 3, 3)
+        centre = g.index(1, 1, 1)
+        assert len(list(g.neighbours(centre))) == 26
+
+    def test_corner_has_7(self):
+        g = Grid3D(3, 3, 3)
+        assert len(list(g.neighbours(0))) == 7
+
+    def test_neighbours_distinct_and_exclude_self(self):
+        g = Grid3D(4, 4, 4)
+        i = g.index(2, 2, 2)
+        neigh = list(g.neighbours(int(i)))
+        assert i not in neigh
+        assert len(set(neigh)) == len(neigh)
+
+    def test_row_degree_matches_neighbours(self):
+        g = Grid3D(3, 4, 2)
+        deg = g.row_degree()
+        for i in range(g.npoints):
+            assert deg[i] == len(list(g.neighbours(i))) + 1  # + diagonal
+
+    def test_row_degree_range(self):
+        deg = Grid3D(4, 4, 4).row_degree()
+        assert deg.min() == 8 and deg.max() == 27
+
+    def test_degenerate_1d_grid(self):
+        g = Grid3D(5, 1, 1)
+        deg = g.row_degree()
+        assert deg.max() == 3 and deg.min() == 2
+
+
+class TestCoarsening:
+    def test_can_coarsen_even(self):
+        assert Grid3D(4, 4, 4).can_coarsen()
+        assert not Grid3D(3, 4, 4).can_coarsen()
+        assert not Grid3D(2, 2, 1).can_coarsen()
+
+    def test_coarsen_halves(self):
+        assert Grid3D(8, 4, 6).coarsen().dims == (4, 2, 3)
+
+    def test_coarsen_odd_raises(self):
+        with pytest.raises(InvalidValue):
+            Grid3D(3, 4, 4).coarsen()
+
+    def test_max_mg_levels(self):
+        assert Grid3D(16, 16, 16).max_mg_levels() == 5
+        assert Grid3D(8, 8, 8).max_mg_levels() == 4
+        assert Grid3D(3, 3, 3).max_mg_levels() == 1
+        assert Grid3D(24, 24, 24).max_mg_levels() == 4  # 24->12->6->3
+
+    def test_injection_indices(self):
+        g = Grid3D(4, 4, 4)
+        inj = g.injection_indices()
+        coarse = g.coarsen()
+        assert inj.shape == (coarse.npoints,)
+        # coarse point (1,1,1) -> fine (2,2,2)
+        ci = coarse.index(1, 1, 1)
+        assert inj[ci] == g.index(2, 2, 2)
+
+    def test_injection_unique(self):
+        inj = Grid3D(6, 4, 8).injection_indices()
+        assert np.unique(inj).size == inj.size
+
+
+class TestStencil:
+    def test_offsets_count(self):
+        assert len(stencil_offsets()) == 27
+        assert (0, 0, 0) in stencil_offsets()
+
+    def test_nnz_matches_degree(self):
+        g = Grid3D(4, 3, 5)
+        rows, cols, vals = stencil_27pt_coo(g)
+        assert rows.size == g.row_degree().sum()
+
+    def test_values(self):
+        g = Grid3D(3, 3, 3)
+        rows, cols, vals = stencil_27pt_coo(g)
+        diag = rows == cols
+        assert (vals[diag] == 26.0).all()
+        assert (vals[~diag] == -1.0).all()
+
+    def test_symmetry(self):
+        import scipy.sparse as sp
+        g = Grid3D(4, 4, 4)
+        rows, cols, vals = stencil_27pt_coo(g)
+        A = sp.csr_matrix((vals, (rows, cols)), shape=(g.npoints, g.npoints))
+        assert abs(A - A.T).nnz == 0
+
+    def test_interior_row_sums_zero(self):
+        import scipy.sparse as sp
+        g = Grid3D(4, 4, 4)
+        rows, cols, vals = stencil_27pt_coo(g)
+        A = sp.csr_matrix((vals, (rows, cols)), shape=(g.npoints, g.npoints))
+        sums = np.asarray(A.sum(axis=1)).ravel()
+        interior = g.index(1, 1, 1)
+        assert sums[interior] == 0.0  # 26 - 26 neighbours
+
+    def test_custom_values(self):
+        g = Grid3D(2, 2, 2)
+        _, _, vals = stencil_27pt_coo(g, diag_value=8.0, offdiag_value=-0.5)
+        assert set(np.unique(vals)) == {8.0, -0.5}

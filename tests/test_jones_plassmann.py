@@ -1,0 +1,77 @@
+"""Jones-Plassmann parallel colouring (GraphBLAS-expressed)."""
+
+import numpy as np
+import pytest
+
+from repro import graphblas as grb
+from repro.graphblas.io import random_matrix
+from repro.hpcg.coloring import (
+    greedy_coloring,
+    jones_plassmann_coloring,
+    num_colors,
+    validate_coloring,
+)
+from repro.hpcg.problem import generate_problem
+from repro.util.errors import InvalidValue
+
+
+class TestJonesPlassmann:
+    def test_valid_on_hpcg(self, problem8):
+        colors = jones_plassmann_coloring(problem8.A, seed=1)
+        assert validate_coloring(problem8.A, colors)
+
+    def test_color_count_reasonable_on_hpcg(self, problem8):
+        """JP is randomised; it may use a few more colours than greedy's
+        optimal 8 but stays within the max-degree+1 bound (28)."""
+        colors = jones_plassmann_coloring(problem8.A, seed=2)
+        assert 8 <= num_colors(colors) <= 28
+
+    def test_valid_on_7pt(self):
+        problem = generate_problem(6, stencil="7pt")
+        colors = jones_plassmann_coloring(problem.A, seed=0)
+        assert validate_coloring(problem.A, colors)
+
+    def test_valid_on_random_symmetric(self, rng):
+        M = random_matrix(30, 30, 0.15, rng=rng)
+        S = grb.Matrix.from_scipy(M.to_scipy() + M.to_scipy().T)
+        colors = jones_plassmann_coloring(S, seed=3)
+        assert validate_coloring(S, colors)
+
+    def test_deterministic_per_seed(self, problem4):
+        a = jones_plassmann_coloring(problem4.A, seed=7)
+        b = jones_plassmann_coloring(problem4.A, seed=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_both_valid(self, problem4):
+        for seed in range(4):
+            colors = jones_plassmann_coloring(problem4.A, seed=seed)
+            assert validate_coloring(problem4.A, colors)
+
+    def test_diagonal_only_one_round(self):
+        eye = grb.Matrix.identity(6)
+        colors = jones_plassmann_coloring(eye, seed=0)
+        assert num_colors(colors) == 1
+
+    def test_round_limit_enforced(self, problem8):
+        with pytest.raises(InvalidValue):
+            jones_plassmann_coloring(problem8.A, seed=0, max_rounds=1)
+
+    def test_requires_square(self):
+        with pytest.raises(InvalidValue):
+            jones_plassmann_coloring(
+                grb.Matrix.from_coo([0], [1], [1.0], 1, 2)
+            )
+
+    def test_usable_by_smoother(self, problem8, rng):
+        """A JP colouring drives RBGS just like greedy's."""
+        from repro.hpcg.coloring import color_masks
+        from repro.hpcg.smoothers import RBGSSmoother
+        colors = jones_plassmann_coloring(problem8.A, seed=5)
+        smoother = RBGSSmoother(problem8.A, problem8.A_diag,
+                                color_masks(colors))
+        r = grb.Vector.from_dense(rng.standard_normal(problem8.n))
+        z = grb.Vector.dense(problem8.n, 0.0)
+        smoother.smooth(z, r)
+        A = problem8.A.to_scipy()
+        assert (np.linalg.norm(r.to_dense() - A @ z.to_dense())
+                < np.linalg.norm(r.to_dense()))

@@ -1,0 +1,173 @@
+"""Matrix-level operations: elementwise, apply, transpose, reductions,
+submatrix extract/assign."""
+
+import numpy as np
+import pytest
+
+from repro import graphblas as grb
+from repro.graphblas import descriptor as d
+from repro.util.errors import DimensionMismatch, InvalidValue
+
+
+@pytest.fixture()
+def A():
+    return grb.Matrix.from_dense([[1.0, 0.0, 2.0], [0.0, 3.0, 0.0]])
+
+
+@pytest.fixture()
+def B():
+    return grb.Matrix.from_dense([[10.0, 20.0, 0.0], [0.0, 30.0, 40.0]])
+
+
+class TestEwiseAddMatrix:
+    def test_union(self, A, B):
+        C = grb.Matrix.identity(2)
+        grb.ewise_add_matrix(C, A, B, grb.ops.plus)
+        expected = A.to_scipy().toarray() + B.to_scipy().toarray()
+        np.testing.assert_array_equal(C.to_scipy().toarray(), expected)
+        # union pattern: 5 distinct positions
+        assert C.nvals == 5
+
+    def test_copy_where_single(self, A, B):
+        C = grb.Matrix.identity(2)
+        grb.ewise_add_matrix(C, A, B, grb.ops.times)
+        # (0,2) only in A -> copied, not multiplied
+        assert C.extract_element(0, 2) == 2.0
+        assert C.extract_element(1, 2) == 40.0
+        # (0,0) in both -> multiplied
+        assert C.extract_element(0, 0) == 10.0
+
+    def test_transpose_descriptor(self, A):
+        At = A.transpose()
+        C = grb.Matrix.identity(2)
+        grb.ewise_add_matrix(C, At, A, grb.ops.plus, desc=d.transpose_matrix)
+        expected = 2 * A.to_scipy().toarray()
+        np.testing.assert_array_equal(C.to_scipy().toarray(), expected)
+
+    def test_shape_mismatch(self, A):
+        with pytest.raises(DimensionMismatch):
+            grb.ewise_add_matrix(grb.Matrix.identity(2), A,
+                                 grb.Matrix.identity(3), grb.ops.plus)
+
+    def test_empty_intersection(self):
+        A = grb.Matrix.from_coo([0], [0], [1.0], 2, 2)
+        B = grb.Matrix.from_coo([1], [1], [2.0], 2, 2)
+        C = grb.Matrix.identity(2)
+        grb.ewise_add_matrix(C, A, B, grb.ops.plus)
+        assert C.nvals == 2
+
+
+class TestEwiseMultMatrix:
+    def test_intersection(self, A, B):
+        C = grb.Matrix.identity(2)
+        grb.ewise_mult_matrix(C, A, B, grb.ops.times)
+        # intersection: (0,0) and (1,1)
+        assert C.nvals == 2
+        assert C.extract_element(0, 0) == 10.0
+        assert C.extract_element(1, 1) == 90.0
+
+    def test_no_overlap(self):
+        A = grb.Matrix.from_coo([0], [0], [1.0], 2, 2)
+        B = grb.Matrix.from_coo([1], [1], [2.0], 2, 2)
+        C = grb.Matrix.identity(2)
+        grb.ewise_mult_matrix(C, A, B, grb.ops.times)
+        assert C.nvals == 0
+
+
+class TestApplyTranspose:
+    def test_apply_matrix(self, A):
+        C = grb.Matrix.identity(2)
+        grb.apply_matrix(C, grb.ops.ainv, A)
+        np.testing.assert_array_equal(
+            C.to_scipy().toarray(), -A.to_scipy().toarray()
+        )
+        assert C.nvals == A.nvals
+
+    def test_transpose_into(self, A):
+        C = grb.Matrix.identity(3)
+        grb.transpose_into(C, A)
+        np.testing.assert_array_equal(
+            C.to_scipy().toarray(), A.to_scipy().toarray().T
+        )
+
+
+class TestReductions:
+    def test_reduce_rows_plus(self, A):
+        w = grb.Vector.sparse(2)
+        grb.reduce_rows(w, A, grb.plus_monoid)
+        np.testing.assert_array_equal(w.to_dense(), [3.0, 3.0])
+
+    def test_reduce_rows_empty_row_absent(self):
+        A = grb.Matrix.from_coo([0], [0], [5.0], 3, 3)
+        w = grb.Vector.sparse(3)
+        grb.reduce_rows(w, A, grb.plus_monoid)
+        assert w.extract_element(0) == 5.0
+        assert w.extract_element(1) is None
+
+    def test_reduce_cols(self, A):
+        w = grb.Vector.sparse(3)
+        grb.reduce_cols(w, A, grb.plus_monoid)
+        np.testing.assert_array_equal(w.to_dense(), [1.0, 3.0, 2.0])
+
+    def test_reduce_rows_max(self, B):
+        w = grb.Vector.sparse(2)
+        grb.reduce_rows(w, B, grb.max_monoid)
+        np.testing.assert_array_equal(w.to_dense(), [20.0, 40.0])
+
+    def test_size_check(self, A):
+        with pytest.raises(DimensionMismatch):
+            grb.reduce_rows(grb.Vector.sparse(5), A, grb.plus_monoid)
+
+    def test_hpcg_row_sums(self, problem8):
+        """Interior stencil rows sum to zero — via reduce_rows."""
+        w = grb.Vector.sparse(problem8.n)
+        grb.reduce_rows(w, problem8.A, grb.plus_monoid)
+        centre = problem8.grid.index(4, 4, 4)
+        assert w.extract_element(int(centre)) == 0.0
+
+
+class TestSubmatrix:
+    def test_extract(self, A):
+        C = grb.Matrix.identity(2)
+        grb.extract_submatrix(C, A, [0, 1], [2, 0])
+        np.testing.assert_array_equal(
+            C.to_scipy().toarray(), [[2.0, 1.0], [0.0, 0.0]]
+        )
+
+    def test_extract_rows_only(self, A):
+        C = grb.Matrix.identity(1)
+        grb.extract_submatrix(C, A, [1])
+        np.testing.assert_array_equal(C.to_scipy().toarray(), [[0.0, 3.0, 0.0]])
+
+    def test_extract_out_of_range(self, A):
+        with pytest.raises(InvalidValue):
+            grb.extract_submatrix(grb.Matrix.identity(1), A, [5])
+
+    def test_assign_block(self):
+        C = grb.Matrix.from_dense(np.ones((4, 4)))
+        block = grb.Matrix.from_dense([[7.0, 8.0], [9.0, 10.0]])
+        grb.assign_submatrix(C, block, [1, 2], [0, 3])
+        out = C.to_scipy().toarray()
+        assert out[1, 0] == 7.0 and out[1, 3] == 8.0
+        assert out[2, 0] == 9.0 and out[2, 3] == 10.0
+        # outside the block untouched
+        assert out[0, 0] == 1.0 and out[3, 3] == 1.0
+
+    def test_assign_replaces_block_pattern(self):
+        C = grb.Matrix.from_dense(np.ones((3, 3)))
+        empty = grb.Matrix.from_coo([], [], [], 2, 2)
+        grb.assign_submatrix(C, empty, [0, 1], [0, 1])
+        # the 2x2 block is now empty; the rest survives
+        assert C.nvals == 5
+        assert C.extract_element(0, 0) is None
+        assert C.extract_element(2, 2) == 1.0
+
+    def test_assign_shape_mismatch(self, A):
+        with pytest.raises(DimensionMismatch):
+            grb.assign_submatrix(grb.Matrix.identity(4), A, [0], [1])
+
+    def test_assign_out_of_range(self):
+        C = grb.Matrix.identity(2)
+        block = grb.Matrix.identity(1)
+        with pytest.raises(InvalidValue):
+            grb.assign_submatrix(C, block, [5], [0])

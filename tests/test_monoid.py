@@ -1,0 +1,100 @@
+"""Monoids: reductions, segment reductions, identity handling."""
+
+import numpy as np
+import pytest
+
+from repro.graphblas import monoid as m
+from repro.graphblas import ops
+from repro.graphblas.monoid import Monoid
+from repro.graphblas.ops import BinaryOp
+from repro.util.errors import InvalidValue
+
+
+class TestConstruction:
+    def test_requires_associative(self):
+        with pytest.raises(InvalidValue):
+            Monoid(ops.minus, 0)
+
+    def test_name(self):
+        assert m.plus_monoid.name == "plus_monoid"
+
+    def test_call(self):
+        assert m.plus_monoid(2, 3) == 5
+
+
+class TestReduce:
+    def test_plus(self):
+        assert m.plus_monoid.reduce(np.array([1.0, 2.0, 3.0])) == 6.0
+
+    def test_times(self):
+        assert m.times_monoid.reduce(np.array([2.0, 3.0, 4.0])) == 24.0
+
+    def test_min_max(self):
+        x = np.array([3.0, -1.0, 7.0])
+        assert m.min_monoid.reduce(x) == -1.0
+        assert m.max_monoid.reduce(x) == 7.0
+
+    def test_empty_returns_identity(self):
+        assert m.plus_monoid.reduce(np.array([])) == 0
+        assert m.min_monoid.reduce(np.array([])) == np.inf
+        assert m.max_monoid.reduce(np.array([])) == -np.inf
+
+    def test_logical(self):
+        assert m.lor_monoid.reduce(np.array([False, True])) == True  # noqa: E712
+        assert m.land_monoid.reduce(np.array([True, False])) == False  # noqa: E712
+
+    def test_non_ufunc_monoid(self):
+        gcd = Monoid(BinaryOp("gcd", np.gcd, ufunc=None, associative=True,
+                              commutative=True), 0)
+        assert gcd.reduce(np.array([12, 18, 24])) == 6
+
+
+class TestSegmentReduce:
+    def test_basic(self):
+        vals = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        ptr = np.array([0, 2, 5])
+        np.testing.assert_array_equal(
+            m.plus_monoid.segment_reduce(vals, ptr), [3.0, 12.0]
+        )
+
+    def test_empty_segment_gets_identity(self):
+        vals = np.array([1.0, 2.0])
+        ptr = np.array([0, 0, 2, 2])
+        out = m.plus_monoid.segment_reduce(vals, ptr)
+        np.testing.assert_array_equal(out, [0.0, 3.0, 0.0])
+
+    def test_leading_empty_segment(self):
+        # this is the reduceat edge case: an empty first segment must not
+        # steal the following segment's first value
+        vals = np.array([5.0, 7.0])
+        ptr = np.array([0, 0, 1, 2])
+        out = m.plus_monoid.segment_reduce(vals, ptr)
+        np.testing.assert_array_equal(out, [0.0, 5.0, 7.0])
+
+    def test_all_empty(self):
+        out = m.plus_monoid.segment_reduce(np.array([]), np.array([0, 0, 0]))
+        np.testing.assert_array_equal(out, [0.0, 0.0])
+
+    def test_min_segments(self):
+        vals = np.array([3.0, 1.0, 4.0, 1.0, 5.0])
+        ptr = np.array([0, 3, 5])
+        np.testing.assert_array_equal(
+            m.min_monoid.segment_reduce(vals, ptr), [1.0, 1.0]
+        )
+
+    def test_single_element_segments(self):
+        vals = np.array([9.0, 8.0, 7.0])
+        ptr = np.array([0, 1, 2, 3])
+        np.testing.assert_array_equal(
+            m.max_monoid.segment_reduce(vals, ptr), vals
+        )
+
+    def test_python_fallback_matches_ufunc(self):
+        vals = np.array([1.0, 2.0, 3.0, 4.0])
+        ptr = np.array([0, 1, 1, 4])
+        slow = Monoid(BinaryOp("plus2", lambda a, b: a + b, ufunc=None,
+                               associative=True, commutative=True), 0)
+        np.testing.assert_array_equal(
+            slow.segment_reduce(vals, ptr),
+            m.plus_monoid.segment_reduce(vals, ptr),
+        )

@@ -1,0 +1,117 @@
+"""Multigrid hierarchy and V-cycle."""
+
+import numpy as np
+import pytest
+
+from repro import graphblas as grb
+from repro.hpcg.multigrid import MGPreconditioner, build_hierarchy, mg_vcycle
+from repro.hpcg.smoothers import JacobiSmoother
+from repro.util.errors import InvalidValue
+from repro.util.timer import TimerRegistry
+
+
+class TestBuildHierarchy:
+    def test_level_count_and_sizes(self, problem8):
+        top = build_hierarchy(problem8, levels=3)
+        levels = top.levels()
+        assert len(levels) == 3
+        assert [lvl.n for lvl in levels] == [512, 64, 8]
+        assert [lvl.index for lvl in levels] == [0, 1, 2]
+
+    def test_too_many_levels(self, problem4):
+        with pytest.raises(InvalidValue):
+            build_hierarchy(problem4, levels=4)  # 4 -> 2 -> 1: only 3
+
+    def test_zero_levels(self, problem4):
+        with pytest.raises(InvalidValue):
+            build_hierarchy(problem4, levels=0)
+
+    def test_single_level_has_no_transfer(self, problem4):
+        top = build_hierarchy(problem4, levels=1)
+        assert top.coarser is None and top.R is None
+
+    def test_transfer_shapes(self, problem8):
+        top = build_hierarchy(problem8, levels=2)
+        assert top.R.shape == (64, 512)
+        assert top.rc.size == 64 and top.zc.size == 64
+
+    def test_coarse_operators_are_stencils(self, problem8):
+        top = build_hierarchy(problem8, levels=2)
+        coarse = top.coarser
+        assert coarse.A.shape == (64, 64)
+        np.testing.assert_array_equal(coarse.A_diag.to_dense(),
+                                      np.full(64, 26.0))
+
+    def test_custom_smoother_factory(self, problem8):
+        top = build_hierarchy(
+            problem8, levels=2,
+            smoother_factory=lambda A, d, c: JacobiSmoother(A, d),
+        )
+        assert isinstance(top.smoother, JacobiSmoother)
+
+
+class TestVCycle:
+    def test_improves_solution(self, problem8, rng):
+        top = build_hierarchy(problem8, levels=3)
+        b = problem8.b
+        z = grb.Vector.dense(problem8.n, 0.0)
+        mg_vcycle(top, z, b)
+        assert problem8.residual_norm(z) < problem8.residual_norm(problem8.x0)
+
+    def test_repeated_cycles_converge(self, problem8):
+        top = build_hierarchy(problem8, levels=3)
+        z = grb.Vector.dense(problem8.n, 0.0)
+        res = []
+        for _ in range(5):
+            mg_vcycle(top, z, problem8.b)
+            res.append(problem8.residual_norm(z))
+        # the V-cycle contracts the residual by roughly 2x per cycle
+        assert res[-1] < res[0] * 0.15
+        assert all(b < a for a, b in zip(res, res[1:]))
+
+    def test_timers_populated(self, problem8):
+        top = build_hierarchy(problem8, levels=3)
+        timers = TimerRegistry()
+        z = grb.Vector.dense(problem8.n, 0.0)
+        mg_vcycle(top, z, problem8.b, timers=timers)
+        names = set(timers.timers)
+        assert "mg/L0/rbgs" in names and "mg/L1/rbgs" in names
+        assert "mg/L0/restrict" in names and "mg/L0/prolong" in names
+        # the coarsest level only smooths
+        assert "mg/L2/restrict" not in names
+
+    def test_single_level_is_just_smoothing(self, problem8):
+        top = build_hierarchy(problem8, levels=1)
+        z1 = grb.Vector.dense(problem8.n, 0.0)
+        mg_vcycle(top, z1, problem8.b)
+        z2 = grb.Vector.dense(problem8.n, 0.0)
+        top.smoother.smooth(z2, problem8.b)
+        np.testing.assert_array_equal(z1.to_dense(), z2.to_dense())
+
+
+class TestPreconditioner:
+    def test_is_linear_operator(self, problem8, rng):
+        """M(a x + b y) == a M(x) + b M(y) — required for CG theory."""
+        precond = MGPreconditioner(build_hierarchy(problem8, levels=3))
+        n = problem8.n
+        x = rng.standard_normal(n)
+        y = rng.standard_normal(n)
+        a, b = 2.5, -1.25
+
+        def apply(vec):
+            out = grb.Vector.dense(n)
+            precond(out, grb.Vector.from_dense(vec))
+            return out.to_dense()
+
+        lhs = apply(a * x + b * y)
+        rhs = a * apply(x) + b * apply(y)
+        np.testing.assert_allclose(lhs, rhs, rtol=1e-10, atol=1e-12)
+
+    def test_deterministic(self, problem8, rng):
+        precond = MGPreconditioner(build_hierarchy(problem8, levels=3))
+        r = grb.Vector.from_dense(rng.standard_normal(problem8.n))
+        z1 = grb.Vector.dense(problem8.n)
+        z2 = grb.Vector.dense(problem8.n, 123.0)  # stale content must not matter
+        precond(z1, r)
+        precond(z2, r)
+        np.testing.assert_array_equal(z1.to_dense(), z2.to_dense())

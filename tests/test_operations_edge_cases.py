@@ -1,0 +1,163 @@
+"""Edge cases across operation/modifier combinations.
+
+These pin the write-back semantics matrix — (mask x accum x replace)
+and mixed dtypes — where GraphBLAS implementations most often disagree.
+"""
+
+import numpy as np
+import pytest
+
+from repro import graphblas as grb
+from repro.graphblas import descriptor as d
+from repro.graphblas.matrix import Matrix
+from repro.graphblas.vector import Vector
+
+
+@pytest.fixture()
+def A():
+    return Matrix.from_dense([[2.0, 1.0], [1.0, 3.0]])
+
+
+class TestAccumReplaceCombos:
+    def test_masked_accum(self, A):
+        x = Vector.from_dense([1.0, 1.0])
+        mask = Vector.from_coo([0], [True], 2, dtype=bool)
+        w = Vector.from_dense([10.0, 20.0])
+        grb.mxv(w, mask, A, x, accum=grb.ops.plus, desc=d.structural)
+        assert w.extract_element(0) == 13.0   # 10 + (2+1)
+        assert w.extract_element(1) == 20.0   # outside mask: untouched
+
+    def test_masked_accum_replace(self, A):
+        x = Vector.from_dense([1.0, 1.0])
+        mask = Vector.from_coo([0], [True], 2, dtype=bool)
+        w = Vector.from_dense([10.0, 20.0])
+        grb.mxv(w, mask, A, x, accum=grb.ops.plus,
+                desc=d.structural | d.replace)
+        # replace clears w first; accum then sees no old value
+        assert w.extract_element(0) == 3.0
+        assert w.extract_element(1) is None
+
+    def test_apply_with_accum(self):
+        u = Vector.from_dense([1.0, 2.0])
+        w = Vector.from_dense([10.0, 20.0])
+        grb.apply(w, None, grb.ops.ainv, u, accum=grb.ops.plus)
+        np.testing.assert_array_equal(w.to_dense(), [9.0, 18.0])
+
+    def test_assign_with_accum(self):
+        w = Vector.from_dense([1.0, 2.0])
+        grb.assign(w, None, 5.0, accum=grb.ops.plus)
+        np.testing.assert_array_equal(w.to_dense(), [6.0, 7.0])
+
+    def test_ewise_add_with_accum(self):
+        u = Vector.from_dense([1.0, 1.0])
+        v = Vector.from_dense([2.0, 2.0])
+        w = Vector.from_dense([100.0, 100.0])
+        grb.ewise_add(w, None, u, v, grb.ops.plus, accum=grb.ops.plus)
+        np.testing.assert_array_equal(w.to_dense(), [103.0, 103.0])
+
+    def test_ewise_mult_replace_outside_intersection(self):
+        u = Vector.from_coo([0], [3.0], 3)
+        v = Vector.from_coo([0, 1], [4.0, 5.0], 3)
+        w = Vector.dense(3, 9.0)
+        grb.ewise_mult(w, None, u, v, grb.ops.times, desc=d.replace)
+        assert w.extract_element(0) == 12.0
+        assert w.extract_element(1) is None
+        assert w.extract_element(2) is None
+
+    def test_accum_into_empty_output(self, A):
+        x = Vector.from_dense([1.0, 1.0])
+        w = Vector.sparse(2)
+        grb.mxv(w, None, A, x, accum=grb.ops.plus)
+        np.testing.assert_array_equal(w.to_dense(), [3.0, 4.0])
+
+
+class TestDtypeMixing:
+    def test_int_matrix_float_vector(self):
+        A = Matrix.from_coo([0, 1], [0, 1], np.array([2, 3]), 2, 2,
+                            dtype=np.int64)
+        x = Vector.from_dense([0.5, 2.0])
+        y = Vector.dense(2)
+        grb.mxv(y, None, A, x)
+        np.testing.assert_array_equal(y.to_dense(), [1.0, 6.0])
+
+    def test_float32_preserved(self):
+        u = Vector.from_dense(np.array([1.5, 2.5], dtype=np.float32))
+        assert u.dtype == np.float32
+        w = Vector(2, dtype=np.float32)
+        grb.apply(w, None, grb.ops.identity, u)
+        assert w.dtype == np.float32
+
+    def test_bool_semiring_over_int_pattern(self):
+        A = Matrix.from_coo([0], [1], [7], 2, 2, dtype=np.int32)
+        f = Vector.from_coo([0], [True], 2, dtype=bool)
+        out = Vector.sparse(2, dtype=bool)
+        grb.mxv(out, None, A, f, semiring=grb.lor_land,
+                desc=d.transpose_matrix)
+        assert out.extract_element(1) == True  # noqa: E712
+
+    def test_int_reduce(self):
+        u = Vector.from_dense(np.array([1, 2, 3], dtype=np.int32))
+        assert grb.reduce(u, grb.plus_monoid) == 6
+
+
+class TestDegenerateShapes:
+    def test_empty_matrix_mxv(self):
+        A = Matrix.from_coo([], [], [], 3, 3)
+        x = Vector.from_dense([1.0, 2.0, 3.0])
+        y = Vector.dense(3, 9.0)
+        grb.mxv(y, None, A, x)
+        assert y.nvals == 0  # no rows produced entries
+
+    def test_one_by_one(self):
+        A = Matrix.from_coo([0], [0], [4.0], 1, 1)
+        x = Vector.from_dense([2.5])
+        y = Vector.dense(1)
+        grb.mxv(y, None, A, x)
+        assert y.extract_element(0) == 10.0
+
+    def test_empty_vector_dot(self):
+        assert grb.dot(Vector.sparse(4), Vector.sparse(4)) == 0
+
+    def test_zero_size_vector_ops(self):
+        u = Vector.sparse(0)
+        v = Vector.sparse(0)
+        w = Vector.sparse(0)
+        grb.ewise_add(w, None, u, v, grb.ops.plus)
+        assert w.size == 0 and w.nvals == 0
+
+    def test_full_mask_equals_no_mask(self, A):
+        x = Vector.from_dense([1.0, 1.0])
+        full = Vector.from_coo([0, 1], [True, True], 2, dtype=bool)
+        y1 = Vector.dense(2)
+        y2 = Vector.dense(2)
+        grb.mxv(y1, None, A, x)
+        grb.mxv(y2, full, A, x, desc=d.structural)
+        assert y1 == y2
+
+    def test_empty_mask_touches_nothing(self, A):
+        x = Vector.from_dense([1.0, 1.0])
+        empty = Vector.sparse(2, dtype=bool)
+        y = Vector.dense(2, 7.0)
+        grb.mxv(y, empty, A, x, desc=d.structural)
+        np.testing.assert_array_equal(y.to_dense(), [7.0, 7.0])
+
+
+class TestStoredZeros:
+    def test_explicit_zero_is_present(self):
+        """GraphBLAS distinguishes stored zeros from absence."""
+        u = Vector.from_coo([0, 1], [0.0, 5.0], 3)
+        assert u.nvals == 2
+        assert u.extract_element(0) == 0.0
+        assert u.extract_element(2) is None
+
+    def test_zero_value_mask_not_selected(self):
+        mask = Vector.from_coo([0, 1], [0.0, 1.0], 2)
+        w = Vector.dense(2, 9.0)
+        grb.assign(w, mask, 1.0)  # value mask: only index 1
+        np.testing.assert_array_equal(w.to_dense(), [9.0, 1.0])
+
+    def test_zero_value_structural_mask_selected(self):
+        mask = Vector.from_coo([0, 1], [0.0, 1.0], 2)
+        w = Vector.dense(2, 9.0)
+        grb.assign(w, mask, 1.0, desc=d.structural)
+        np.testing.assert_array_equal(w.to_dense(), [1.0, 1.0])

@@ -1,0 +1,100 @@
+"""Unary/binary operators: scalar, vectorised, registry."""
+
+import numpy as np
+import pytest
+
+from repro.graphblas import ops
+from repro.graphblas.ops import BinaryOp, UnaryOp
+from repro.util.errors import InvalidValue
+
+
+class TestUnaryOps:
+    def test_identity(self):
+        assert ops.identity(3.5) == 3.5
+
+    def test_ainv(self):
+        assert ops.ainv(2.0) == -2.0
+
+    def test_minv(self):
+        assert ops.minv(4.0) == 0.25
+
+    def test_abs(self):
+        assert ops.abs_(-7) == 7
+
+    def test_lnot(self):
+        assert bool(ops.lnot(True)) is False
+
+    def test_sqrt(self):
+        assert ops.sqrt(9.0) == 3.0
+
+    def test_vectorized_matches_scalar(self):
+        x = np.array([-1.0, 2.0, -3.0])
+        np.testing.assert_array_equal(ops.abs_.vectorized(x), np.abs(x))
+
+    def test_vectorized_python_fallback(self):
+        op = UnaryOp("double", lambda v: 2 * v)
+        x = np.array([1.0, 2.0])
+        np.testing.assert_array_equal(op.vectorized(x), [2.0, 4.0])
+
+    def test_one_returns_one(self):
+        assert ops.one(17.5) == 1.0
+
+
+class TestBinaryOps:
+    def test_plus(self):
+        assert ops.plus(2, 3) == 5
+
+    def test_minus_not_commutative_flag(self):
+        assert not ops.minus.commutative
+
+    def test_times_flags(self):
+        assert ops.times.commutative and ops.times.associative
+
+    def test_min_max(self):
+        assert ops.min_(2, 5) == 2
+        assert ops.max_(2, 5) == 5
+
+    def test_first_second(self):
+        assert ops.first(1, 9) == 1
+        assert ops.second(1, 9) == 9
+
+    def test_logical(self):
+        assert bool(ops.land(True, False)) is False
+        assert bool(ops.lor(True, False)) is True
+        assert bool(ops.lxor(True, True)) is False
+
+    def test_eq_ne(self):
+        assert bool(ops.eq(3, 3)) and bool(ops.ne(3, 4))
+
+    def test_div_pow(self):
+        assert ops.div(6.0, 3.0) == 2.0
+        assert ops.pow_(2.0, 10) == 1024.0
+
+    def test_vectorized_matches_scalar(self):
+        x = np.array([1.0, 5.0])
+        y = np.array([4.0, 2.0])
+        np.testing.assert_array_equal(ops.min_.vectorized(x, y), [1.0, 2.0])
+
+    def test_vectorized_python_fallback(self):
+        x = np.array([1.0, 5.0])
+        y = np.array([4.0, 2.0])
+        np.testing.assert_array_equal(ops.first.vectorized(x, y), x)
+        np.testing.assert_array_equal(ops.second.vectorized(x, y), y)
+
+    def test_fallback_result_dtype(self):
+        x = np.array([1, 5], dtype=np.int32)
+        y = np.array([4.0, 2.0])
+        out = ops.second.vectorized(x, y)
+        assert out.dtype == np.float64
+
+
+class TestLookup:
+    def test_lookup_plus(self):
+        assert ops.lookup("plus") is ops.plus
+
+    def test_lookup_unary(self):
+        assert ops.lookup("abs") is ops.abs_
+
+    def test_lookup_unknown(self):
+        with pytest.raises(InvalidValue):
+            ops.lookup("frobnicate")

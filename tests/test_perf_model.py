@@ -1,0 +1,127 @@
+"""Machine specs and the shared-memory scaling model."""
+
+import numpy as np
+import pytest
+
+from repro.hpcg.problem import generate_problem
+from repro.perf import (
+    ALP_PROFILE,
+    ARM,
+    REF_PROFILE,
+    Placement,
+    ScalingModel,
+    X86,
+    collect_op_stream,
+    packed_placement,
+    ref_stream_from_alp,
+    split_stream,
+    table2_rows,
+)
+from repro.util.errors import InvalidValue
+
+
+class TestMachineSpecs:
+    def test_table2_values(self):
+        rows = {r["field"]: r for r in table2_rows()}
+        assert rows["CPU"]["x86"] == "Xeon Gold 6238T"
+        assert rows["CPU"]["ARM"] == "Kunpeng 920-4826"
+        assert rows["attained bandwidth (GB/s)"]["ARM"] == "246.3"
+        assert rows["NUMA domains (per socket)"]["ARM"] == "2"
+
+    def test_derived_counts(self):
+        assert X86.physical_cores == 44
+        assert X86.hardware_threads == 88
+        assert ARM.hardware_threads == 96
+        assert ARM.cores_per_numa_domain == 24
+
+
+class TestScalingModel:
+    def test_utilisation_monotone(self):
+        model = ScalingModel(ARM, REF_PROFILE)
+        utils = [model.socket_utilisation(t) for t in (1, 4, 16, 48)]
+        assert utils == sorted(utils)
+        assert 0 < utils[0] < utils[-1] < 1
+
+    def test_alp_saturates_faster_than_ref(self):
+        alp = ScalingModel(ARM, ALP_PROFILE)
+        ref = ScalingModel(ARM, REF_PROFILE)
+        assert alp.socket_utilisation(8) > ref.socket_utilisation(8)
+
+    def test_numa_penalty_only_past_domain(self):
+        ref = ScalingModel(ARM, REF_PROFILE)
+        assert ref.numa_factor(24) == 1.0
+        assert ref.numa_factor(48) < 1.0
+
+    def test_numa_aware_never_penalised(self):
+        alp = ScalingModel(ARM, ALP_PROFILE)
+        assert alp.numa_factor(48) == 1.0
+
+    def test_multisocket_interleave_removes_penalty(self):
+        ref = ScalingModel(ARM, REF_PROFILE)
+        assert ref.numa_factor(48, sockets=2) == 1.0
+        assert ref.numa_factor(48, sockets=1) < 1.0
+
+    def test_x86_single_domain_no_penalty(self):
+        ref = ScalingModel(X86, REF_PROFILE)
+        assert ref.numa_factor(22) == 1.0
+
+    def test_bandwidth_scales_with_sockets(self):
+        alp = ScalingModel(ARM, ALP_PROFILE)
+        one = alp.effective_bandwidth(Placement(48, 1))
+        two = alp.effective_bandwidth(Placement(96, 2))
+        assert two == pytest.approx(2 * one)
+
+    def test_time_inverse_of_bandwidth(self):
+        alp = ScalingModel(ARM, ALP_PROFILE)
+        p = Placement(32, 1)
+        assert alp.time_for_bytes(1e9, p) == pytest.approx(
+            1e9 / alp.effective_bandwidth(p)
+        )
+
+    def test_placement_validation(self):
+        with pytest.raises(InvalidValue):
+            Placement(0, 1)
+
+
+class TestPackedPlacement:
+    def test_fits_one_socket(self):
+        assert packed_placement(ARM, 48).sockets == 1
+        assert packed_placement(X86, 22).sockets == 1
+
+    def test_spills_to_two(self):
+        assert packed_placement(ARM, 96).sockets == 2
+        assert packed_placement(X86, 44).sockets == 2  # physical packing
+
+
+class TestOpStream:
+    def test_labels_present(self, problem8):
+        stream = collect_op_stream(problem8, mg_levels=3, iterations=2)
+        assert "rbgs@L0" in stream and "rbgs@L2" in stream
+        assert "restrict@L0" in stream and "refine@L0" in stream
+        assert "spmv" in stream and "dot" in stream
+        # coarsest level has no transfer
+        assert "restrict@L2" not in stream
+
+    def test_bytes_positive_and_scaling(self, problem8):
+        s2 = collect_op_stream(problem8, mg_levels=3, iterations=2)
+        s4 = collect_op_stream(problem8, mg_levels=3, iterations=4)
+        assert all(v > 0 for v in s2.values())
+        # double the iterations ≈ double the bytes (setup-free labels)
+        assert s4["rbgs@L0"] == pytest.approx(2 * s2["rbgs@L0"], rel=0.01)
+
+    def test_levels_clamped(self, problem4):
+        stream = collect_op_stream(problem4, mg_levels=9, iterations=1)
+        assert "rbgs@L2" in stream  # 4 -> 2 -> 1: three levels max
+
+    def test_ref_stream_discount_only_transfers(self, problem8):
+        stream = collect_op_stream(problem8, mg_levels=3, iterations=2)
+        ref = ref_stream_from_alp(stream)
+        assert ref["rbgs@L0"] == stream["rbgs@L0"]
+        assert ref["restrict@L0"] < stream["restrict@L0"]
+        assert ref["refine@L0"] < stream["refine@L0"]
+
+    def test_split_stream(self):
+        stream = {"rbgs@L0": 10.0, "rbgs@L1": 5.0, "dot": 3.0}
+        split = split_stream(stream)
+        assert split["rbgs"] == {"L0": 10.0, "L1": 5.0}
+        assert split["dot"] == {"-": 3.0}

@@ -1,0 +1,206 @@
+"""The nonblocking-execution pipeline (ref. [32] in miniature)."""
+
+import numpy as np
+import pytest
+
+from repro import graphblas as grb
+from repro.graphblas.pipeline import Pipeline
+from repro.hpcg.coloring import color_masks, lattice_coloring
+from repro.hpcg.problem import generate_problem
+from repro.hpcg.smoothers import RBGSSmoother
+from repro.util.errors import InvalidValue
+
+
+@pytest.fixture(scope="module")
+def setup():
+    problem = generate_problem(8)
+    colors = color_masks(lattice_coloring(problem.grid))
+    rng = np.random.default_rng(0)
+    return problem, colors, rng.standard_normal(problem.n)
+
+
+def rbgs_pointwise(idx, z, r, tmp, d):
+    dd = d[idx]
+    z[idx] = (r[idx] - tmp[idx] + z[idx] * dd) / dd
+
+
+class TestFusionDetection:
+    def test_mxv_lambda_pair_fuses(self, setup):
+        problem, colors, r_vals = setup
+        z = grb.Vector.dense(problem.n, 0.0)
+        r = grb.Vector.from_dense(r_vals)
+        tmp = grb.Vector.dense(problem.n)
+        pipe = Pipeline()
+        pipe.mxv(tmp, colors[0], problem.A, z)
+        pipe.ewise_lambda(rbgs_pointwise, colors[0], z, r, tmp,
+                          problem.A_diag)
+        stats = pipe.execute()
+        assert stats.fused_pairs == 1
+        assert stats.eager_stages == 0
+
+    def test_different_masks_do_not_fuse(self, setup):
+        problem, colors, r_vals = setup
+        z = grb.Vector.dense(problem.n, 0.0)
+        r = grb.Vector.from_dense(r_vals)
+        tmp = grb.Vector.dense(problem.n)
+        pipe = Pipeline()
+        pipe.mxv(tmp, colors[0], problem.A, z)
+        pipe.ewise_lambda(rbgs_pointwise, colors[1], z, r, tmp,
+                          problem.A_diag)
+        stats = pipe.execute()
+        assert stats.fused_pairs == 0
+        assert stats.eager_stages == 2
+
+    def test_generic_semiring_does_not_fuse(self, setup):
+        problem, colors, r_vals = setup
+        z = grb.Vector.dense(problem.n, 1.0)
+        r = grb.Vector.from_dense(r_vals)
+        tmp = grb.Vector.dense(problem.n)
+        pipe = Pipeline()
+        pipe.mxv(tmp, colors[0], problem.A, z, semiring=grb.min_plus)
+        pipe.ewise_lambda(rbgs_pointwise, colors[0], z, r, tmp,
+                          problem.A_diag)
+        stats = pipe.execute()
+        assert stats.fused_pairs == 0
+
+    def test_unconsumed_product_does_not_fuse(self, setup):
+        problem, colors, r_vals = setup
+        z = grb.Vector.dense(problem.n, 0.0)
+        r = grb.Vector.from_dense(r_vals)
+        tmp = grb.Vector.dense(problem.n)
+
+        def no_tmp(idx, zv, rv):
+            zv[idx] += rv[idx]
+
+        pipe = Pipeline()
+        pipe.mxv(tmp, colors[0], problem.A, z)
+        pipe.ewise_lambda(no_tmp, colors[0], z, r)
+        stats = pipe.execute()
+        assert stats.fused_pairs == 0
+        assert stats.eager_stages == 2
+
+
+class TestFusedCorrectness:
+    def test_full_sweep_bit_identical(self, setup):
+        """A whole RBGS forward sweep through the pipeline equals the
+        blocking smoother exactly."""
+        problem, colors, r_vals = setup
+        r = grb.Vector.from_dense(r_vals)
+
+        z_pipe = grb.Vector.dense(problem.n, 0.0)
+        tmp = grb.Vector.dense(problem.n)
+        total_fused = 0
+        for mask in colors:
+            pipe = Pipeline()
+            pipe.mxv(tmp, mask, problem.A, z_pipe)
+            pipe.ewise_lambda(rbgs_pointwise, mask, z_pipe, r, tmp,
+                              problem.A_diag)
+            total_fused += pipe.execute().fused_pairs
+        assert total_fused == 8
+
+        z_block = grb.Vector.dense(problem.n, 0.0)
+        RBGSSmoother(problem.A, problem.A_diag, colors).forward(z_block, r)
+        np.testing.assert_array_equal(z_pipe.to_dense(), z_block.to_dense())
+
+    def test_fused_saves_traffic(self, setup):
+        problem, colors, r_vals = setup
+        r = grb.Vector.from_dense(r_vals)
+
+        def run(build):
+            z = grb.Vector.dense(problem.n, 0.0)
+            tmp = grb.Vector.dense(problem.n)
+            log = grb.backend.EventLog()
+            with grb.backend.collect(log):
+                build(z, tmp)
+            return log.total("bytes")
+
+        def pipelined(z, tmp):
+            pipe = Pipeline()
+            pipe.mxv(tmp, colors[0], problem.A, z)
+            pipe.ewise_lambda(rbgs_pointwise, colors[0], z, r, tmp,
+                              problem.A_diag)
+            pipe.execute()
+
+        def blocking(z, tmp):
+            grb.mxv(tmp, colors[0], problem.A, z,
+                    desc=grb.descriptors.structural)
+            grb.ewise_lambda(rbgs_pointwise, colors[0], z, r, tmp,
+                             problem.A_diag)
+
+        assert run(pipelined) < run(blocking)
+
+
+class TestLifecycle:
+    def test_repr(self):
+        assert "0 stages" in repr(Pipeline())
+
+    def test_double_execute_rejected(self, setup):
+        problem, colors, _ = setup
+        pipe = Pipeline()
+        pipe.execute()
+        with pytest.raises(InvalidValue):
+            pipe.execute()
+
+    def test_append_after_execute_rejected(self, setup):
+        problem, colors, _ = setup
+        pipe = Pipeline()
+        pipe.execute()
+        with pytest.raises(InvalidValue):
+            pipe.mxv(grb.Vector.dense(2), None, grb.Matrix.identity(2),
+                     grb.Vector.dense(2))
+
+    def test_product_read_only_in_fused_lambda(self, setup):
+        problem, colors, r_vals = setup
+        z = grb.Vector.dense(problem.n, 0.0)
+        r = grb.Vector.from_dense(r_vals)
+        tmp = grb.Vector.dense(problem.n)
+
+        def writes_tmp(idx, zv, rv, tv, dv):
+            tv[idx] = 0.0  # illegal on the fused product
+
+        pipe = Pipeline()
+        pipe.mxv(tmp, colors[0], problem.A, z)
+        pipe.ewise_lambda(writes_tmp, colors[0], z, r, tmp, problem.A_diag)
+        with pytest.raises(InvalidValue):
+            pipe.execute()
+
+
+class TestPipelinedSmoother:
+    def test_bit_identical_to_blocking(self, setup):
+        from repro.graphblas.pipeline import PipelinedRBGSSmoother
+        problem, colors, r_vals = setup
+        r = grb.Vector.from_dense(r_vals)
+        z1 = grb.Vector.dense(problem.n, 0.0)
+        PipelinedRBGSSmoother(problem.A, problem.A_diag, colors).smooth(z1, r, sweeps=2)
+        z2 = grb.Vector.dense(problem.n, 0.0)
+        RBGSSmoother(problem.A, problem.A_diag, colors).smooth(z2, r, sweeps=2)
+        np.testing.assert_array_equal(z1.to_dense(), z2.to_dense())
+
+    def test_every_color_step_fused(self, setup):
+        from repro.graphblas.pipeline import PipelinedRBGSSmoother
+        problem, colors, r_vals = setup
+        r = grb.Vector.from_dense(r_vals)
+        smoother = PipelinedRBGSSmoother(problem.A, problem.A_diag, colors)
+        z = grb.Vector.dense(problem.n, 0.0)
+        smoother.forward(z, r)
+        assert smoother.last_stats.fused_pairs == 8
+        assert smoother.last_stats.eager_stages == 0
+
+    def test_usable_in_multigrid(self, setup):
+        from repro.graphblas.pipeline import PipelinedRBGSSmoother
+        from repro.hpcg.multigrid import MGPreconditioner, build_hierarchy
+        from repro.hpcg.cg import pcg
+        problem, _colors, _ = setup
+        hierarchy = build_hierarchy(problem, levels=3,
+                                    smoother_factory=PipelinedRBGSSmoother)
+        x = problem.x0.dup()
+        res = pcg(problem.A, problem.b, x,
+                  preconditioner=MGPreconditioner(hierarchy),
+                  max_iters=50, tolerance=1e-8)
+        assert res.converged and res.iterations == 7  # same as blocking
+
+    def test_rejects_empty_colors(self, setup):
+        from repro.graphblas.pipeline import PipelinedRBGSSmoother
+        problem, _, _ = setup
+        with pytest.raises(InvalidValue):
+            PipelinedRBGSSmoother(problem.A, problem.A_diag, [])

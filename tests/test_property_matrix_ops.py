@@ -1,0 +1,114 @@
+"""Property-based tests for the matrix-level operations and select."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import graphblas as grb
+from repro.graphblas import selectops
+
+common = settings(max_examples=20,
+                  suppress_health_check=[HealthCheck.too_slow], deadline=None)
+
+
+@st.composite
+def square_matrix(draw, max_n=8):
+    n = draw(st.integers(1, max_n))
+    nnz = draw(st.integers(0, n * n))
+    cells = draw(st.lists(
+        st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+        min_size=nnz, max_size=nnz, unique=True,
+    ))
+    vals = draw(st.lists(st.floats(-50, 50, allow_nan=False),
+                         min_size=len(cells), max_size=len(cells)))
+    rows = np.array([c[0] for c in cells], dtype=np.int64)
+    cols = np.array([c[1] for c in cells], dtype=np.int64)
+    return grb.Matrix.from_coo(rows, cols, np.array(vals), n, n)
+
+
+class TestSelectProperties:
+    @common
+    @given(square_matrix())
+    def test_tril_triu_diag_partition(self, A):
+        """Strict-lower + diagonal + strict-upper recovers A exactly."""
+        total = 0
+        for op, thunk in ((selectops.tril, -1), (selectops.diag, 0),
+                          (selectops.triu, 1)):
+            C = grb.Matrix.identity(A.nrows)
+            grb.select(C, op, A, thunk=thunk)
+            total += C.nvals
+        assert total == A.nvals
+
+    @common
+    @given(square_matrix(), st.floats(-50, 50, allow_nan=False))
+    def test_value_split_partition(self, A, thunk):
+        """valuegt + its complement (le via not-gt) partitions entries."""
+        gt = grb.Matrix.identity(A.nrows)
+        grb.select(gt, selectops.valuegt, A, thunk=thunk)
+        le = grb.Matrix.identity(A.nrows)
+        le_op = grb.IndexUnaryOp("le", lambda v, i, j, k: ~(v > k))
+        grb.select(le, le_op, A, thunk=thunk)
+        assert gt.nvals + le.nvals == A.nvals
+
+    @common
+    @given(square_matrix())
+    def test_select_idempotent(self, A):
+        C1 = grb.Matrix.identity(A.nrows)
+        grb.select(C1, selectops.tril, A)
+        C2 = grb.Matrix.identity(A.nrows)
+        grb.select(C2, selectops.tril, C1)
+        assert (C1.to_scipy() != C2.to_scipy()).nnz == 0
+
+
+class TestMatrixOpProperties:
+    @common
+    @given(square_matrix(), square_matrix())
+    def test_ewise_add_commutative(self, A, B):
+        if A.shape != B.shape:
+            return
+        C1 = grb.Matrix.identity(A.nrows)
+        grb.ewise_add_matrix(C1, A, B, grb.ops.plus)
+        C2 = grb.Matrix.identity(A.nrows)
+        grb.ewise_add_matrix(C2, B, A, grb.ops.plus)
+        np.testing.assert_allclose(
+            C1.to_scipy().toarray(), C2.to_scipy().toarray(),
+            rtol=1e-12, atol=1e-12,
+        )
+
+    @common
+    @given(square_matrix())
+    def test_transpose_involution(self, A):
+        C = grb.Matrix.identity(A.ncols)
+        grb.transpose_into(C, A)
+        D = grb.Matrix.identity(A.nrows)
+        grb.transpose_into(D, C)
+        assert (A.to_scipy() != D.to_scipy()).nnz == 0
+
+    @common
+    @given(square_matrix())
+    def test_reduce_rows_matches_matrix_reduce(self, A):
+        w = grb.Vector.sparse(A.nrows)
+        grb.reduce_rows(w, A, grb.plus_monoid)
+        assert grb.reduce(w, grb.plus_monoid) == pytest.approx(
+            grb.reduce_matrix(A, grb.plus_monoid), abs=1e-9
+        )
+
+    @common
+    @given(square_matrix())
+    def test_ewise_mult_with_self_squares_values(self, A):
+        C = grb.Matrix.identity(A.nrows)
+        grb.ewise_mult_matrix(C, A, A, grb.ops.times)
+        assert C.nvals == A.nvals
+        _, _, va = A.to_coo()
+        _, _, vc = C.to_coo()
+        np.testing.assert_allclose(vc, va ** 2)
+
+    @common
+    @given(square_matrix())
+    def test_apply_matrix_preserves_pattern(self, A):
+        C = grb.Matrix.identity(A.nrows)
+        grb.apply_matrix(C, grb.ops.ainv, A)
+        ra, ca, _ = A.to_coo()
+        rc, cc, _ = C.to_coo()
+        np.testing.assert_array_equal(ra, rc)
+        np.testing.assert_array_equal(ca, cc)

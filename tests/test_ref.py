@@ -1,0 +1,201 @@
+"""The Ref implementation: kernels, exact SYMGS, CG parity with ALP."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.hpcg.driver import run_hpcg
+from repro.ref import (
+    RefRBGS,
+    RefSymGS,
+    build_ref_hierarchy,
+    compute_dot,
+    compute_spmv,
+    compute_waxpby,
+    ref_mg_vcycle,
+    ref_pcg,
+    run_ref_hpcg,
+)
+from repro.ref.kernels import compute_residual_norm
+from repro.ref.multigrid import RefMGPreconditioner
+from repro.util.errors import DimensionMismatch, InvalidValue
+
+
+class TestKernels:
+    def test_spmv(self, problem4, rng):
+        A = problem4.A.to_scipy()
+        x = rng.standard_normal(64)
+        y = np.zeros(64)
+        compute_spmv(y, A, x)
+        np.testing.assert_allclose(y, A @ x)
+
+    def test_spmv_size_check(self, problem4):
+        with pytest.raises(DimensionMismatch):
+            compute_spmv(np.zeros(3), problem4.A.to_scipy(), np.zeros(64))
+
+    def test_waxpby_all_aliases(self, rng):
+        xv = rng.standard_normal(20)
+        yv = rng.standard_normal(20)
+        expected = 2.0 * xv - 3.0 * yv
+        w = np.zeros(20)
+        compute_waxpby(w, 2.0, xv.copy(), -3.0, yv.copy())
+        np.testing.assert_allclose(w, expected)
+        x2 = xv.copy()
+        compute_waxpby(x2, 2.0, x2, -3.0, yv.copy())
+        np.testing.assert_allclose(x2, expected)
+        y2 = yv.copy()
+        compute_waxpby(y2, 2.0, xv.copy(), -3.0, y2)
+        np.testing.assert_allclose(y2, expected)
+
+    def test_waxpby_size_check(self):
+        with pytest.raises(DimensionMismatch):
+            compute_waxpby(np.zeros(2), 1.0, np.zeros(3), 1.0, np.zeros(2))
+
+    def test_dot(self, rng):
+        x = rng.standard_normal(30)
+        y = rng.standard_normal(30)
+        assert compute_dot(x, y) == pytest.approx(float(x @ y))
+
+    def test_dot_size_check(self):
+        with pytest.raises(DimensionMismatch):
+            compute_dot(np.zeros(2), np.zeros(3))
+
+    def test_residual_norm(self, problem4):
+        b = problem4.b.to_dense()
+        x = np.ones(64)
+        assert compute_residual_norm(problem4.A.to_scipy(), b, x) == pytest.approx(
+            0.0, abs=1e-10
+        )
+
+
+class TestRefSymGS:
+    def test_exact_sequential_semantics(self, rng):
+        """Compare the triangular-solve sweep against an explicit
+        row-by-row Python loop (the textbook definition)."""
+        n = 30
+        dense = rng.standard_normal((n, n)) * 0.1
+        np.fill_diagonal(dense, 5.0)
+        A = sp.csr_matrix(dense)
+        r = rng.standard_normal(n)
+        smoother = RefSymGS(A)
+        z_fast = rng.standard_normal(n)
+        z_loop = z_fast.copy()
+        smoother.forward(z_fast, r)
+        for i in range(n):  # textbook Gauss-Seidel
+            acc = r[i]
+            for j in range(n):
+                if j != i:
+                    acc -= dense[i, j] * z_loop[j]
+            z_loop[i] = acc / dense[i, i]
+        np.testing.assert_allclose(z_fast, z_loop, rtol=1e-10)
+
+    def test_backward_is_reverse_order(self, rng):
+        n = 20
+        dense = rng.standard_normal((n, n)) * 0.1
+        np.fill_diagonal(dense, 5.0)
+        A = sp.csr_matrix(dense)
+        r = rng.standard_normal(n)
+        smoother = RefSymGS(A)
+        z_fast = np.zeros(n)
+        smoother.backward(z_fast, r)
+        z_loop = np.zeros(n)
+        for i in range(n - 1, -1, -1):
+            acc = r[i]
+            for j in range(n):
+                if j != i:
+                    acc -= dense[i, j] * z_loop[j]
+            z_loop[i] = acc / dense[i, i]
+        np.testing.assert_allclose(z_fast, z_loop, rtol=1e-10)
+
+    def test_reduces_residual(self, problem8, rng):
+        A = problem8.A.to_scipy()
+        r = rng.standard_normal(problem8.n)
+        z = np.zeros(problem8.n)
+        RefSymGS(A).smooth(z, r)
+        assert np.linalg.norm(r - A @ z) < np.linalg.norm(r)
+
+    def test_rejects_zero_diagonal(self):
+        A = sp.csr_matrix(np.array([[0.0, 1.0], [1.0, 2.0]]))
+        with pytest.raises(InvalidValue):
+            RefSymGS(A)
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(InvalidValue):
+            RefSymGS(sp.csr_matrix(np.ones((2, 3))))
+
+
+class TestRefRBGS:
+    def test_validates_colors(self, problem4):
+        A = problem4.A.to_scipy()
+        with pytest.raises(DimensionMismatch):
+            RefRBGS(A, np.zeros(3, dtype=np.int64))
+
+    def test_gap_in_color_ids_rejected(self, problem4):
+        A = problem4.A.to_scipy()
+        colors = np.zeros(64, dtype=np.int64)
+        colors[0] = 5  # colours 1..4 empty
+        with pytest.raises(InvalidValue):
+            RefRBGS(A, colors)
+
+    def test_smooth_reduces_residual(self, problem8, rng):
+        from repro.hpcg.coloring import lattice_coloring
+        A = problem8.A.to_scipy()
+        r = rng.standard_normal(problem8.n)
+        z = np.zeros(problem8.n)
+        RefRBGS(A, lattice_coloring(problem8.grid)).smooth(z, r)
+        assert np.linalg.norm(r - A @ z) < np.linalg.norm(r)
+
+
+class TestRefMG:
+    def test_hierarchy_sizes(self, problem8):
+        top = build_ref_hierarchy(problem8, levels=3)
+        assert [lvl.n for lvl in top.levels()] == [512, 64, 8]
+
+    def test_symgs_smoother_option(self, problem8):
+        top = build_ref_hierarchy(problem8, levels=2, smoother="symgs")
+        assert isinstance(top.smoother, RefSymGS)
+
+    def test_unknown_smoother(self, problem8):
+        with pytest.raises(InvalidValue):
+            build_ref_hierarchy(problem8, levels=2, smoother="sor")
+
+    def test_vcycle_improves(self, problem8):
+        top = build_ref_hierarchy(problem8, levels=3)
+        A = problem8.A.to_scipy()
+        b = problem8.b.to_dense()
+        z = np.zeros(problem8.n)
+        ref_mg_vcycle(top, z, b)
+        assert np.linalg.norm(b - A @ z) < np.linalg.norm(b)
+
+
+class TestParityWithALP:
+    def test_identical_residual_histories(self, problem8):
+        """The paper's precondition for comparing times: both
+        implementations produce numerically comparable results."""
+        alp = run_hpcg(nx=0, problem=problem8, max_iters=15, mg_levels=3,
+                       validate_symmetry=False)
+        ref = run_ref_hpcg(nx=0, problem=problem8, max_iters=15, mg_levels=3)
+        np.testing.assert_allclose(alp.cg.residuals, ref.cg.residuals,
+                                   rtol=1e-12)
+
+    def test_ref_cg_plain_matches_alp(self, problem8):
+        alp = run_hpcg(nx=0, problem=problem8, max_iters=10, mg_levels=0,
+                       validate_symmetry=False)
+        ref = run_ref_hpcg(nx=0, problem=problem8, max_iters=10, mg_levels=0)
+        np.testing.assert_allclose(alp.cg.residuals, ref.cg.residuals,
+                                   rtol=1e-12)
+
+    def test_ref_driver_breakdown(self, problem8):
+        ref = run_ref_hpcg(nx=0, problem=problem8, max_iters=10, mg_levels=3)
+        rows = ref.mg_level_breakdown()
+        assert len(rows) == 3
+        assert sum(r["rbgs"] for r in rows) > 0.3
+
+    def test_ref_pcg_converges(self, problem8):
+        A = problem8.A.to_scipy()
+        precond = RefMGPreconditioner(build_ref_hierarchy(problem8, levels=3))
+        x = np.zeros(problem8.n)
+        res = ref_pcg(A, problem8.b.to_dense(), x, preconditioner=precond,
+                      max_iters=100, tolerance=1e-9)
+        assert res.converged
+        np.testing.assert_allclose(x, np.ones(problem8.n), rtol=1e-5)

@@ -1,0 +1,61 @@
+"""Official-style report rendering."""
+
+import pytest
+
+from repro.hpcg.driver import main, run_hpcg
+from repro.hpcg.report import render_report, to_dict
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_hpcg(nx=8, max_iters=10, mg_levels=3)
+
+
+class TestToDict:
+    def test_structure(self, result):
+        d = to_dict(result)["HPCG-Benchmark"]
+        assert d["Global Problem Dimensions"] == {"nx": 8, "ny": 8, "nz": 8}
+        assert d["Linear System Information"]["Number of Equations"] == 512
+        assert d["Multigrid Information"]["Number of coarse grid levels"] == 2
+        assert d["Validation Testing"]["Result"] == "PASSED"
+        assert d["Final Summary"]["HPCG result is"] == "VALID"
+
+    def test_iteration_count(self, result):
+        d = to_dict(result)["HPCG-Benchmark"]
+        assert d["Iteration Count Information"][
+            "Total number of optimized iterations"] == 10
+
+    def test_gflops_positive(self, result):
+        d = to_dict(result)["HPCG-Benchmark"]
+        assert d["Final Summary"]["GFLOP/s rating of"] > 0
+        assert d["GFLOP/s Summary"]["Raw MG"] > 0
+
+    def test_time_summary_consistent(self, result):
+        d = to_dict(result)["HPCG-Benchmark"]["Benchmark Time Summary"]
+        parts = d["spmv"] + d["dot"] + d["waxpby"] + d["mg"]
+        assert parts <= d["Total"] * 1.2  # parts can't wildly exceed total
+
+
+class TestRender:
+    def test_yaml_like_text(self, result):
+        text = render_report(result)
+        assert "HPCG-Benchmark:" in text
+        assert "  Global Problem Dimensions:" in text
+        assert "    nx: 8" in text
+        assert "GFLOP/s rating of:" in text
+
+    def test_invalid_when_validation_fails(self, result):
+        import dataclasses
+        from repro.hpcg.symmetry import SymmetryReport
+        bad = dataclasses.replace(
+            result, symmetry=SymmetryReport(1.0, 1.0, False, False)
+        )
+        assert "INVALID" in render_report(bad)
+
+
+class TestCliReport:
+    def test_report_flag(self, capsys):
+        rc = main(["--nx", "4", "--iters", "2", "--mg-levels", "2",
+                   "--report"])
+        assert rc == 0
+        assert "HPCG-Benchmark:" in capsys.readouterr().out

@@ -1,0 +1,71 @@
+"""Container resize and package doctests."""
+
+import doctest
+
+import numpy as np
+import pytest
+
+from repro import graphblas as grb
+from repro.util.errors import InvalidValue
+
+
+class TestVectorResize:
+    def test_grow_keeps_entries(self):
+        v = grb.Vector.from_coo([0, 2], [1.0, 3.0], 3)
+        v.resize(6)
+        assert v.size == 6
+        assert v.extract_element(2) == 3.0
+        assert v.extract_element(5) is None
+
+    def test_shrink_drops_tail(self):
+        v = grb.Vector.from_dense([1.0, 2.0, 3.0, 4.0])
+        v.resize(2)
+        assert v.size == 2 and v.nvals == 2
+        np.testing.assert_array_equal(v.to_dense(), [1.0, 2.0])
+
+    def test_same_size_noop_keeps_version(self):
+        v = grb.Vector.dense(3, 1.0)
+        before = v.version
+        v.resize(3)
+        assert v.version == before
+
+    def test_negative_rejected(self):
+        with pytest.raises(InvalidValue):
+            grb.Vector.dense(2, 0.0).resize(-1)
+
+    def test_resize_bumps_version(self):
+        v = grb.Vector.dense(2, 0.0)
+        before = v.version
+        v.resize(5)
+        assert v.version > before
+
+
+class TestMatrixResize:
+    def test_grow(self):
+        A = grb.Matrix.from_dense([[1.0, 2.0], [3.0, 4.0]])
+        A.resize(3, 4)
+        assert A.shape == (3, 4) and A.nvals == 4
+        assert A.extract_element(1, 1) == 4.0
+
+    def test_shrink_drops_outside(self):
+        A = grb.Matrix.from_dense([[1.0, 2.0], [3.0, 4.0]])
+        A.resize(1, 2)
+        assert A.shape == (1, 2) and A.nvals == 2
+        assert A.extract_element(0, 1) == 2.0
+
+    def test_caches_invalidated(self):
+        A = grb.Matrix.from_dense([[1.0, 2.0], [3.0, 4.0]])
+        t1 = A._transposed_csr()
+        A.resize(2, 3)
+        assert A._transposed_csr().shape == (3, 2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(InvalidValue):
+            grb.Matrix.identity(2).resize(-1, 2)
+
+
+class TestDoctests:
+    def test_graphblas_package_doctest(self):
+        import repro.graphblas
+        failures, _tested = doctest.testmod(repro.graphblas, verbose=False)
+        assert failures == 0

@@ -1,0 +1,96 @@
+"""Restriction/refinement: matrix form vs direct injection."""
+
+import numpy as np
+import pytest
+
+from repro import graphblas as grb
+from repro.grid import Grid3D
+from repro.hpcg.restriction import build_restriction, prolong_add, restrict
+from repro.util.errors import DimensionMismatch
+
+
+@pytest.fixture()
+def grids():
+    fine = Grid3D(4, 4, 4)
+    return fine, fine.coarsen()
+
+
+class TestBuildRestriction:
+    def test_shape(self, grids):
+        fine, coarse = grids
+        R = build_restriction(fine)
+        assert R.shape == (coarse.npoints, fine.npoints)
+
+    def test_one_entry_per_row(self, grids):
+        fine, coarse = grids
+        R = build_restriction(fine)
+        assert R.nvals == coarse.npoints
+        rows, cols, vals = R.to_coo()
+        assert (vals == 1.0).all()
+        assert np.unique(rows).size == coarse.npoints
+
+    def test_columns_are_injection_points(self, grids):
+        fine, _ = grids
+        R = build_restriction(fine)
+        _, cols, _ = R.to_coo()
+        np.testing.assert_array_equal(np.sort(cols),
+                                      np.sort(fine.injection_indices()))
+
+
+class TestRestrict:
+    def test_matches_direct_indexing(self, grids, rng):
+        fine, coarse = grids
+        R = build_restriction(fine)
+        xf = rng.standard_normal(fine.npoints)
+        rc = grb.Vector.dense(coarse.npoints)
+        restrict(rc, R, grb.Vector.from_dense(xf))
+        np.testing.assert_array_equal(
+            rc.to_dense(), xf[fine.injection_indices()]
+        )
+
+    def test_size_checks(self, grids):
+        fine, coarse = grids
+        R = build_restriction(fine)
+        with pytest.raises(DimensionMismatch):
+            restrict(grb.Vector.dense(coarse.npoints + 1), R,
+                     grb.Vector.dense(fine.npoints))
+
+
+class TestProlong:
+    def test_matches_direct_scatter_add(self, grids, rng):
+        fine, coarse = grids
+        R = build_restriction(fine)
+        zc = rng.standard_normal(coarse.npoints)
+        zf0 = rng.standard_normal(fine.npoints)
+        zf = grb.Vector.from_dense(zf0.copy())
+        prolong_add(zf, R, grb.Vector.from_dense(zc))
+        expected = zf0.copy()
+        expected[fine.injection_indices()] += zc
+        np.testing.assert_allclose(zf.to_dense(), expected)
+
+    def test_non_injection_points_untouched(self, grids, rng):
+        fine, coarse = grids
+        R = build_restriction(fine)
+        zf = grb.Vector.dense(fine.npoints, 3.0)
+        prolong_add(zf, R, grb.Vector.dense(coarse.npoints, 1.0))
+        inj = set(fine.injection_indices().tolist())
+        out = zf.to_dense()
+        for i in range(fine.npoints):
+            assert out[i] == (4.0 if i in inj else 3.0)
+
+    def test_size_checks(self, grids):
+        fine, coarse = grids
+        R = build_restriction(fine)
+        with pytest.raises(DimensionMismatch):
+            prolong_add(grb.Vector.dense(3), R, grb.Vector.dense(coarse.npoints))
+
+    def test_restrict_then_prolong_is_projection(self, grids, rng):
+        """R (R' zc) = zc: injection is a partial isometry."""
+        fine, coarse = grids
+        R = build_restriction(fine)
+        zc = rng.standard_normal(coarse.npoints)
+        zf = grb.Vector.dense(fine.npoints, 0.0)
+        prolong_add(zf, R, grb.Vector.from_dense(zc))
+        back = grb.Vector.dense(coarse.npoints)
+        restrict(back, R, zf)
+        np.testing.assert_allclose(back.to_dense(), zc)

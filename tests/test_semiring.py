@@ -1,0 +1,37 @@
+"""Semirings: structure and the fast-path predicate."""
+
+from repro.graphblas import semiring as sr
+from repro.graphblas import monoid as m
+from repro.graphblas import ops
+from repro.graphblas.semiring import Semiring
+
+
+class TestPredefined:
+    def test_plus_times_is_fast_path(self):
+        assert sr.plus_times.is_plus_times
+
+    def test_min_plus_not_fast_path(self):
+        assert not sr.min_plus.is_plus_times
+
+    def test_plus_first_not_fast_path(self):
+        # additive monoid matches but multiply is 'first'
+        assert not sr.plus_first.is_plus_times
+
+    def test_name(self):
+        assert sr.min_plus.name == "min_plus"
+        assert sr.plus_times.name == "plus_times"
+
+    def test_lor_land_components(self):
+        assert sr.lor_land.add is m.lor_monoid
+        assert sr.lor_land.mul is ops.land
+
+    def test_custom_semiring(self):
+        s = Semiring(m.max_monoid, ops.plus)
+        assert s.name == "max_plus"
+        assert not s.is_plus_times
+
+    def test_all_predefined_have_monoid_add(self):
+        for s in (sr.plus_times, sr.min_plus, sr.max_plus, sr.max_times,
+                  sr.min_times, sr.lor_land, sr.plus_first, sr.plus_second,
+                  sr.min_first, sr.min_second):
+            assert s.add.op.associative

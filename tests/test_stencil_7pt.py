@@ -1,0 +1,102 @@
+"""The 7-point stencil option: classic red-black territory."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.grid import Grid3D, stencil_7pt_coo, stencil_coo
+from repro.hpcg import run_hpcg
+from repro.hpcg.coloring import (
+    greedy_coloring,
+    lattice_coloring,
+    num_colors,
+    validate_coloring,
+)
+from repro.hpcg.problem import generate_problem
+from repro.util.errors import InvalidValue
+
+
+class TestStencil7pt:
+    def test_row_degrees(self):
+        g = Grid3D(4, 4, 4)
+        rows, cols, vals = stencil_7pt_coo(g)
+        A = sp.csr_matrix((vals, (rows, cols)), shape=(g.npoints, g.npoints))
+        row_nnz = np.diff(A.indptr)
+        assert row_nnz.min() == 4  # corner: diag + 3 faces
+        assert row_nnz.max() == 7  # interior
+
+    def test_values(self):
+        g = Grid3D(3, 3, 3)
+        rows, cols, vals = stencil_7pt_coo(g)
+        diag = rows == cols
+        assert (vals[diag] == 6.0).all()
+        assert (vals[~diag] == -1.0).all()
+
+    def test_symmetric_positive_definite(self):
+        g = Grid3D(3, 3, 3)
+        rows, cols, vals = stencil_7pt_coo(g)
+        A = sp.csr_matrix((vals, (rows, cols)), shape=(27, 27)).toarray()
+        np.testing.assert_array_equal(A, A.T)
+        assert np.linalg.eigvalsh(A).min() > 0
+
+    def test_dispatch(self):
+        g = Grid3D(2, 2, 2)
+        r27, _, _ = stencil_coo(g, "27pt")
+        r7, _, _ = stencil_coo(g, "7pt")
+        assert r27.size > r7.size
+        with pytest.raises(ValueError):
+            stencil_coo(g, "5pt")
+
+
+class TestRedBlackColoring:
+    def test_greedy_finds_two_colors(self):
+        problem = generate_problem(6, stencil="7pt")
+        colors = greedy_coloring(problem.A)
+        assert num_colors(colors) == 2
+        assert validate_coloring(problem.A, colors)
+
+    def test_lattice_7pt_matches_greedy(self):
+        problem = generate_problem(6, stencil="7pt")
+        np.testing.assert_array_equal(
+            greedy_coloring(problem.A),
+            lattice_coloring(problem.grid, "7pt"),
+        )
+
+    def test_lattice_7pt_valid(self):
+        problem = generate_problem(4, stencil="7pt")
+        assert validate_coloring(
+            problem.A, lattice_coloring(problem.grid, "7pt")
+        )
+
+    def test_unknown_stencil_rejected(self):
+        with pytest.raises(InvalidValue):
+            lattice_coloring(Grid3D(2, 2, 2), "5pt")
+
+    def test_27pt_colors_invalid_for_nothing(self):
+        """The 8-colouring remains valid (finer partitions stay valid)
+        on the 7-point operator, just suboptimal."""
+        problem = generate_problem(4, stencil="7pt")
+        assert validate_coloring(
+            problem.A, lattice_coloring(problem.grid, "27pt")
+        )
+
+
+class TestEndToEnd7pt:
+    def test_full_benchmark_runs(self):
+        result = run_hpcg(nx=8, max_iters=10, mg_levels=3)
+        result7 = run_hpcg(nx=8, max_iters=10, mg_levels=3,
+                           validate_symmetry=True, b_style="reference",
+                           problem=generate_problem(8, stencil="7pt"))
+        assert result7.symmetry.passed
+        assert result7.cg.relative_residual < 1e-6
+        # the 7-point operator is better conditioned per nnz; both solve
+        assert result.cg.relative_residual < 1e-6
+
+    def test_alp_ref_parity_on_7pt(self):
+        from repro.ref import run_ref_hpcg
+        problem = generate_problem(8, stencil="7pt")
+        alp = run_hpcg(nx=0, problem=problem, max_iters=8, mg_levels=3,
+                       validate_symmetry=False)
+        ref = run_ref_hpcg(nx=0, problem=problem, max_iters=8, mg_levels=3)
+        np.testing.assert_allclose(alp.cg.residuals, ref.cg.residuals,
+                                   rtol=1e-12)

@@ -1,0 +1,67 @@
+"""HPCG validation phase: symmetry tests."""
+
+import numpy as np
+import pytest
+
+from repro import graphblas as grb
+from repro.hpcg.multigrid import MGPreconditioner, build_hierarchy
+from repro.hpcg.symmetry import (
+    precond_symmetry_error,
+    spmv_symmetry_error,
+    validate,
+)
+
+
+class TestSpmvSymmetry:
+    def test_hpcg_operator_symmetric(self, problem8):
+        assert spmv_symmetry_error(problem8.A) < 1e-12
+
+    def test_asymmetric_matrix_detected(self):
+        A = grb.Matrix.from_dense([[1.0, 5.0], [0.0, 1.0]])
+        assert spmv_symmetry_error(A) > 1e-3
+
+    def test_seed_changes_probe(self, problem4):
+        # different probes, both tiny for a symmetric operator
+        e1 = spmv_symmetry_error(problem4.A, seed=1)
+        e2 = spmv_symmetry_error(problem4.A, seed=2)
+        assert e1 < 1e-12 and e2 < 1e-12
+
+
+class TestPrecondSymmetry:
+    def test_mg_preconditioner_symmetric(self, problem8):
+        precond = MGPreconditioner(build_hierarchy(problem8, levels=3))
+        err = precond_symmetry_error(precond, problem8.n)
+        assert err < 1e-12
+
+    def test_forward_only_smoother_is_asymmetric(self, problem8):
+        """A forward-only sweep is NOT a symmetric operator — the reason
+        HPCG requires the backward sweep (Section II-E)."""
+        from repro.hpcg.coloring import color_masks, lattice_coloring
+        from repro.hpcg.smoothers import RBGSSmoother
+        colors = color_masks(lattice_coloring(problem8.grid))
+        smoother = RBGSSmoother(problem8.A, problem8.A_diag, colors)
+
+        def forward_only(z, r):
+            z.fill(0.0)
+            return smoother.forward(z, r)
+
+        err = precond_symmetry_error(forward_only, problem8.n)
+        assert err > 1e-8
+
+
+class TestValidate:
+    def test_full_validation_passes(self, problem8):
+        precond = MGPreconditioner(build_hierarchy(problem8, levels=3))
+        report = validate(problem8.A, precond)
+        assert report.passed
+        assert report.spmv_ok and report.precond_ok
+
+    def test_without_preconditioner(self, problem4):
+        report = validate(problem4.A)
+        assert report.passed
+        assert report.precond_error == 0.0
+
+    def test_asymmetric_fails(self):
+        A = grb.Matrix.from_dense([[1.0, 3.0], [0.0, 2.0]])
+        report = validate(A)
+        assert not report.passed

@@ -1,0 +1,69 @@
+"""Domain handling: normalisation, promotion, rejection."""
+
+import numpy as np
+import pytest
+
+from repro.graphblas import types as gbtypes
+from repro.util.errors import DomainMismatch
+
+
+class TestAsDtype:
+    def test_float64(self):
+        assert gbtypes.as_dtype(np.float64) == np.dtype(np.float64)
+
+    def test_string_name(self):
+        assert gbtypes.as_dtype("float32") == np.dtype(np.float32)
+
+    def test_python_float(self):
+        assert gbtypes.as_dtype(float) == np.dtype(np.float64)
+
+    def test_python_int(self):
+        assert gbtypes.as_dtype(int) == np.dtype(np.int64)
+
+    def test_python_bool(self):
+        assert gbtypes.as_dtype(bool) == np.dtype(np.bool_)
+
+    def test_all_predefined_accepted(self):
+        for dt in gbtypes.PREDEFINED:
+            assert gbtypes.as_dtype(dt) == dt
+
+    def test_complex_rejected(self):
+        with pytest.raises(DomainMismatch):
+            gbtypes.as_dtype(np.complex128)
+
+    def test_object_rejected(self):
+        with pytest.raises(DomainMismatch):
+            gbtypes.as_dtype(object)
+
+    def test_string_dtype_rejected(self):
+        with pytest.raises(DomainMismatch):
+            gbtypes.as_dtype("U10")
+
+
+class TestPromote:
+    def test_same(self):
+        assert gbtypes.promote(np.float64, np.float64) == np.dtype(np.float64)
+
+    def test_int_float(self):
+        assert gbtypes.promote(np.int32, np.float64) == np.dtype(np.float64)
+
+    def test_bool_int(self):
+        assert gbtypes.promote(np.bool_, np.int8) == np.dtype(np.int8)
+
+    def test_int8_uint8(self):
+        # numpy promotes to a signed type able to hold both
+        assert gbtypes.promote(np.int8, np.uint8) == np.dtype(np.int16)
+
+    def test_three_way(self):
+        assert gbtypes.promote(np.bool_, np.int32, np.float32) == np.dtype(
+            np.float64
+        )
+
+
+class TestZeroOf:
+    def test_float_zero(self):
+        z = gbtypes.zero_of(np.float64)
+        assert z == 0.0 and isinstance(z, np.float64)
+
+    def test_bool_zero(self):
+        assert gbtypes.zero_of(bool) == False  # noqa: E712

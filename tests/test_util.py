@@ -1,0 +1,106 @@
+"""Timers and error types."""
+
+import time
+
+import pytest
+
+from repro.util.errors import (
+    DimensionMismatch,
+    DomainMismatch,
+    InvalidValue,
+    NotConverged,
+    OutputAliasing,
+    ReproError,
+)
+from repro.util.timer import Timer, TimerRegistry, null_timer
+
+
+class TestTimer:
+    def test_measure_accumulates(self):
+        t = Timer("x")
+        with t.measure():
+            time.sleep(0.002)
+        with t.measure():
+            pass
+        assert t.total > 0.001 and t.count == 2
+
+    def test_tick(self):
+        t = Timer("x")
+        t.tick(1.5)
+        t.tick(0.5)
+        assert t.total == 2.0 and t.count == 2
+
+    def test_tick_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Timer("x").tick(-1.0)
+
+    def test_reset(self):
+        t = Timer("x")
+        t.tick(3.0)
+        t.reset()
+        assert t.total == 0.0 and t.count == 0
+
+
+class TestTimerRegistry:
+    def test_get_creates_once(self):
+        reg = TimerRegistry()
+        assert reg.get("a") is reg.get("a")
+
+    def test_prefix_totals(self):
+        reg = TimerRegistry()
+        reg.tick("mg/L0/rbgs", 1.0)
+        reg.tick("mg/L1/rbgs", 2.0)
+        reg.tick("cg/dot", 5.0)
+        assert reg.total("mg/") == 3.0
+        assert reg.total("") == 8.0
+        assert reg.total("mg/L1") == 2.0
+
+    def test_measure_context(self):
+        reg = TimerRegistry()
+        with reg.measure("k"):
+            pass
+        assert reg.get("k").count == 1
+
+    def test_as_dict_sorted(self):
+        reg = TimerRegistry()
+        reg.tick("b", 1.0)
+        reg.tick("a", 2.0)
+        assert list(reg.as_dict()) == ["a", "b"]
+
+    def test_report_renders(self):
+        reg = TimerRegistry()
+        reg.tick("kernel", 1.0)
+        text = reg.report()
+        assert "kernel" in text and "100.0%" in text
+
+    def test_reset_all(self):
+        reg = TimerRegistry()
+        reg.tick("a", 1.0)
+        reg.reset()
+        assert reg.total("") == 0.0
+
+
+class TestNullTimer:
+    def test_noop_everything(self):
+        with null_timer.measure("anything"):
+            pass
+        null_timer.tick("x", 5.0)
+        assert null_timer.total("x") == 0.0
+        assert null_timer.get("y") is null_timer
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(DimensionMismatch, ReproError)
+        assert issubclass(DimensionMismatch, ValueError)
+        assert issubclass(DomainMismatch, TypeError)
+        assert issubclass(InvalidValue, ValueError)
+        assert issubclass(OutputAliasing, ValueError)
+
+    def test_not_converged_payload(self):
+        err = NotConverged("failed", iterations=50, residual=0.1)
+        assert err.iterations == 50 and err.residual == 0.1
+
+    def test_catchable_as_repro_error(self):
+        with pytest.raises(ReproError):
+            raise InvalidValue("nope")
