@@ -1,0 +1,51 @@
+"""Simulated distributed-memory execution of HPCG-on-GraphBLAS.
+
+The paper's distributed experiments compare two designs:
+
+* the **hybrid ALP backend** — opaque containers force a 1D block-cyclic
+  distribution whose every ``mxv`` replicates the input vector
+  (an allgather of ``n (p-1)/p`` values per node, Table I);
+* the **reference backend** — geometry-aware 3D box partitioning with
+  surface-proportional halo exchanges, which weak-scales.
+
+This package simulates both (plus the paper's §VII-B "solution ii" 2D
+block distribution) on one machine: the numerics are executed exactly —
+residual histories are bit-identical to the serial driver — while every
+message is recorded by a :class:`~repro.dist.comm.CommTracker` and
+priced by the BSP cost model in :mod:`repro.dist.bsp`.
+"""
+
+from repro.dist.bsp import ARM_CLUSTER_NODE, BSPMachine, X86_NODE
+from repro.dist.comm import CommTracker
+from repro.dist.halo import LocalRBGSExecutor, LocalSpmvExecutor
+from repro.dist.hybrid import HybridALPRun
+from repro.dist.hybrid2d import Hybrid2DRun
+from repro.dist.partition import (
+    Block1D,
+    BlockCyclic1D,
+    Grid3DPartition,
+    bfs_partition,
+    factor3,
+    halo_for_owners,
+)
+from repro.dist.refdist import RefDistRun
+from repro.dist.result import DistRunResult
+
+__all__ = [
+    "ARM_CLUSTER_NODE",
+    "BSPMachine",
+    "Block1D",
+    "BlockCyclic1D",
+    "CommTracker",
+    "DistRunResult",
+    "Grid3DPartition",
+    "Hybrid2DRun",
+    "HybridALPRun",
+    "LocalRBGSExecutor",
+    "LocalSpmvExecutor",
+    "RefDistRun",
+    "X86_NODE",
+    "bfs_partition",
+    "factor3",
+    "halo_for_owners",
+]

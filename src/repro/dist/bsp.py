@@ -1,0 +1,93 @@
+"""The BSP cost model that prices a recorded communication trace.
+
+A superstep that moves an h-relation of ``h`` bytes while each node
+streams ``work`` bytes through memory costs
+
+    ``work / mem_bandwidth + h / net_bandwidth + latency``
+
+— the classic BSP ``w + h*g + L`` with ``g`` and ``L`` expressed in
+bytes-per-second and seconds so they can be read straight off machine
+datasheets.  HPCG kernels are bandwidth-bound, so ``work`` is measured
+in bytes (not flops), matching :mod:`repro.perf.model`.
+
+The two presets mirror the paper's Table II nodes: the Kunpeng 920
+(ARM) node attains more memory bandwidth than the Xeon Gold (x86) node,
+while both sit on the same Mellanox 100 Gb/s fabric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.dist.comm import CommTracker, SuperstepStats
+from repro.util.errors import InvalidValue
+
+
+@dataclass(frozen=True)
+class BSPMachine:
+    """One node class of a BSP machine.
+
+    ``mem_bandwidth`` and ``net_bandwidth`` are bytes/second;
+    ``latency`` is the per-superstep synchronisation cost in seconds
+    (the BSP ``L``, charged even for communication-free supersteps).
+    """
+
+    name: str
+    mem_bandwidth: float
+    net_bandwidth: float
+    latency: float
+
+    def __post_init__(self):
+        if self.mem_bandwidth <= 0 or self.net_bandwidth <= 0:
+            raise InvalidValue(
+                f"bandwidths must be positive: mem={self.mem_bandwidth}, "
+                f"net={self.net_bandwidth}"
+            )
+        if self.latency < 0:
+            raise InvalidValue(f"latency must be >= 0, got {self.latency}")
+
+    def superstep_time(self, work_bytes: float, h_bytes: float) -> float:
+        """Seconds for one superstep: ``w + h*g + L``."""
+        return (
+            work_bytes / self.mem_bandwidth
+            + h_bytes / self.net_bandwidth
+            + self.latency
+        )
+
+    def work_time(self, work_bytes: float) -> float:
+        """Seconds for a purely local operation (no barrier, no network)."""
+        return work_bytes / self.mem_bandwidth
+
+
+# Table II nodes: attained STREAM bandwidths, shared 100 Gb/s fabric.
+X86_NODE = BSPMachine(
+    name="x86-node",
+    mem_bandwidth=192.0e9,
+    net_bandwidth=12.5e9,
+    latency=10e-6,
+)
+ARM_CLUSTER_NODE = BSPMachine(
+    name="arm-cluster-node",
+    mem_bandwidth=246.3e9,
+    net_bandwidth=12.5e9,
+    latency=10e-6,
+)
+
+
+def bsp_time(
+    machine: BSPMachine,
+    supersteps: Iterable[SuperstepStats],
+    work_bytes: Sequence[float],
+) -> float:
+    """Total time of a trace given per-superstep local work in bytes."""
+    return sum(
+        machine.superstep_time(work, step.h)
+        for step, work in zip(supersteps, work_bytes)
+    )
+
+
+def tracker_comm_time(machine: BSPMachine, tracker: CommTracker) -> float:
+    """Pure communication time of a trace (work priced at zero)."""
+    return bsp_time(machine, tracker.supersteps,
+                    [0.0] * len(tracker.supersteps))

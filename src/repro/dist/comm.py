@@ -1,0 +1,152 @@
+"""Message accounting for the simulated distributed backends.
+
+A :class:`CommTracker` stands in for the network: simulated executors
+:meth:`send` point-to-point messages (or use the collective helpers) and
+close each BSP superstep with :meth:`sync`.  Nothing is transmitted —
+the tracker only records who moved how many bytes — but the accounting
+follows BSP conventions:
+
+* a self-send is free (it is a local copy);
+* empty messages are elided (no zero-byte packets on the wire);
+* the **h-relation** of a superstep is the largest per-node traffic,
+  ``max over nodes of max(sent, received)`` — the quantity the BSP cost
+  model charges for.
+
+Labels attach semantics to the trace: sends and syncs can be tagged
+(``"spmv"``, ``"rbgs_mxv"``, ``"halo"``, ...) so experiments can ask
+"how many supersteps did the smoother cost" without re-running.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.util.errors import InvalidValue
+
+
+@dataclass
+class SuperstepStats:
+    """The closed ledger of one BSP superstep."""
+
+    index: int
+    sent: np.ndarray           # bytes sent per node
+    received: np.ndarray       # bytes received per node
+    messages: int              # point-to-point messages (self/empty elided)
+    label: Optional[str] = None
+
+    @property
+    def total_bytes(self) -> int:
+        return int(self.sent.sum())
+
+    @property
+    def h(self) -> int:
+        """The h-relation: the busiest node's traffic in either direction."""
+        if self.sent.size == 0:
+            return 0
+        return int(max(self.sent.max(), self.received.max()))
+
+
+class CommTracker:
+    """Records sends and supersteps for ``nprocs`` simulated nodes."""
+
+    def __init__(self, nprocs: int):
+        if nprocs < 1:
+            raise InvalidValue(f"need at least one process, got {nprocs}")
+        self.nprocs = nprocs
+        self.supersteps: List[SuperstepStats] = []
+        self.label_bytes: Dict[str, int] = {}
+        self.label_syncs: Dict[str, int] = {}
+        self._reset_pending()
+
+    def _reset_pending(self) -> None:
+        self._sent = np.zeros(self.nprocs, dtype=np.int64)
+        self._received = np.zeros(self.nprocs, dtype=np.int64)
+        self._messages = 0
+
+    # --- point-to-point -----------------------------------------------------
+    def send(self, src: int, dst: int, nbytes: int,
+             label: Optional[str] = None) -> None:
+        """Record ``nbytes`` moving from node ``src`` to node ``dst``."""
+        if not (0 <= src < self.nprocs) or not (0 <= dst < self.nprocs):
+            raise InvalidValue(
+                f"rank out of range: {src}->{dst} with {self.nprocs} procs"
+            )
+        if nbytes < 0:
+            raise InvalidValue(f"negative message size: {nbytes}")
+        if src == dst or nbytes == 0:
+            return
+        self._sent[src] += nbytes
+        self._received[dst] += nbytes
+        self._messages += 1
+        if label is not None:
+            self.label_bytes[label] = self.label_bytes.get(label, 0) + nbytes
+
+    # --- collectives --------------------------------------------------------
+    def broadcast(self, root: int, nbytes: int,
+                  label: Optional[str] = None) -> None:
+        """``root`` sends ``nbytes`` to every other node."""
+        for dst in range(self.nprocs):
+            self.send(root, dst, nbytes, label=label)
+
+    def allgather(self, sizes, label: Optional[str] = None) -> None:
+        """Every node sends its share to every other node.
+
+        ``sizes[k]`` is the number of bytes node ``k`` contributes; after
+        the superstep every node holds all shares (the ALP backend's
+        vector replication before each ``mxv``).
+        """
+        sizes = np.asarray(sizes)
+        if sizes.shape[0] != self.nprocs:
+            raise InvalidValue(
+                f"allgather needs one share per node: got {sizes.shape[0]}, "
+                f"expected {self.nprocs}"
+            )
+        for src in range(self.nprocs):
+            nbytes = int(sizes[src])
+            for dst in range(self.nprocs):
+                self.send(src, dst, nbytes, label=label)
+
+    def allreduce_scalar(self, nbytes: int = 8,
+                         label: Optional[str] = None) -> None:
+        """All-to-all exchange of one scalar (CG's dot products)."""
+        for src in range(self.nprocs):
+            for dst in range(self.nprocs):
+                self.send(src, dst, nbytes, label=label)
+
+    # --- supersteps ---------------------------------------------------------
+    def sync(self, label: Optional[str] = None) -> SuperstepStats:
+        """Close the current superstep and return its statistics."""
+        stats = SuperstepStats(
+            index=len(self.supersteps),
+            sent=self._sent,
+            received=self._received,
+            messages=self._messages,
+            label=label,
+        )
+        self.supersteps.append(stats)
+        if label is not None:
+            self.label_syncs[label] = self.label_syncs.get(label, 0) + 1
+        self._reset_pending()
+        return stats
+
+    # --- aggregates ---------------------------------------------------------
+    @property
+    def total_bytes(self) -> int:
+        return sum(s.total_bytes for s in self.supersteps)
+
+    @property
+    def num_syncs(self) -> int:
+        return len(self.supersteps)
+
+    @property
+    def total_h(self) -> int:
+        return sum(s.h for s in self.supersteps)
+
+    def max_send_per_node(self) -> int:
+        """The largest per-node send volume of any single superstep."""
+        if not self.supersteps:
+            return 0
+        return int(max(s.sent.max() for s in self.supersteps))

@@ -1,0 +1,95 @@
+"""The hybrid ALP backend: 1D block-cyclic + allgather-per-mxv.
+
+This simulates what distributed ALP/GraphBLAS does today (paper §VI):
+containers are opaque, so the runtime falls back to a locality-free 1D
+block-cyclic distribution and must replicate the *entire* input vector
+before every ``mxv`` — an allgather of ``n/p`` values from each node to
+every other, i.e. Θ(n) per-node traffic per superstep (the ALP column
+of Table I).  Every masked mxv of the RBGS smoother pays the same
+price, which is what kills weak scaling in Figure 3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dist.bsp import ARM_CLUSTER_NODE, BSPMachine
+from repro.dist.partition import BlockCyclic1D
+from repro.dist.simulate import (
+    SimLevel,
+    SimulatedDistRun,
+    _MXV_NNZ_BYTES,
+    _MXV_ROW_BYTES,
+    _RESTRICT_MXV_BYTES,
+    per_node_color_work,
+    per_node_rows_and_nnz,
+)
+from repro.hpcg.problem import Problem
+
+
+def _allgather_matrix(part) -> np.ndarray:
+    """Per-(src, dst) bytes of one vector allgather under ``part``.
+
+    ``m[src, dst]`` is what ``src`` ships to ``dst`` when the full
+    vector is replicated: its own share (8 bytes per value) to every
+    other node, nothing to itself.
+    """
+    p = part.p
+    m = np.zeros((p, p), dtype=np.int64)
+    for src in range(p):
+        m[src, :] = part.local_size(src) * 8
+        m[src, src] = 0
+    return m
+
+
+class HybridALPRun(SimulatedDistRun):
+    """Simulated distributed HPCG over 1D block-cyclic ALP containers."""
+
+    backend = "alp-1d"
+
+    def __init__(self, problem: Problem, nprocs: int, mg_levels: int = 4,
+                 machine: BSPMachine = ARM_CLUSTER_NODE, block: int = 1):
+        self._block = block
+        super().__init__(problem, nprocs, mg_levels, machine)
+
+    def _init_level_comm(self, level: SimLevel) -> None:
+        p = self.nprocs
+        part = BlockCyclic1D(level.n, p, block=self._block)
+        level.partition = part
+        owners = part.owner(np.arange(level.n, dtype=np.int64))
+        level.share_bytes = np.array(
+            [part.local_size(k) * 8 for k in range(p)], dtype=np.int64
+        )
+        rows, nnz = per_node_rows_and_nnz(level.A, owners, p)
+        work_bytes = nnz * _MXV_NNZ_BYTES + rows * _MXV_ROW_BYTES
+        level.spmv_comm = _allgather_matrix(part)
+        level.spmv_work = (work_bytes, rows)
+        level.color_work = per_node_color_work(
+            level.A, owners, level.colors, p, level.ncolors
+        )
+
+    # --- communication hooks -------------------------------------------------
+    def _allgather(self, level: SimLevel, sync_label: str, timer_key: str,
+                   work_bytes: float) -> None:
+        self.tracker.allgather(level.share_bytes, label=sync_label)
+        stats = self.tracker.sync(label=sync_label)
+        self._tick_superstep(timer_key, work_bytes, stats.h)
+
+    def _spmv_comm(self, level: SimLevel, sync_label: str,
+                   timer_key: str) -> None:
+        self._allgather(level, sync_label, timer_key,
+                        float(level.spmv_work[0].max()))
+
+    def _rbgs_comm(self, level: SimLevel, color: int) -> None:
+        self._allgather(level, "rbgs_mxv", f"mg/L{level.index}/rbgs",
+                        float(level.color_work[color]))
+
+    def _restrict_comm(self, fine: SimLevel, coarse: SimLevel) -> None:
+        # rc = R f is an mxv over the fine vector: full replication of f
+        work = _RESTRICT_MXV_BYTES * self._vector_share(coarse.n)
+        self._allgather(fine, "restrict", f"mg/L{fine.index}/restrict", work)
+
+    def _prolong_comm(self, fine: SimLevel, coarse: SimLevel) -> None:
+        # z += R' zc is an mxv over the coarse vector: replication of zc
+        work = _RESTRICT_MXV_BYTES * self._vector_share(coarse.n)
+        self._allgather(coarse, "refine", f"mg/L{fine.index}/prolong", work)

@@ -1,0 +1,237 @@
+"""Matrix/vector distributions for the simulated backends.
+
+Four schemes, matching the paper's §VII-B design space:
+
+* :class:`Block1D` — contiguous balanced row blocks;
+* :class:`BlockCyclic1D` — the locality-free 1D block-cyclic
+  distribution ALP's opaque containers force today;
+* :class:`Grid3DPartition` — geometry-aware axis-aligned 3D boxes over
+  the problem grid (what the reference HPCG knows and GraphBLAS hides);
+* :func:`bfs_partition` — a black-box structural partition grown by
+  breadth-first traversal (the paper's "solution iv": recover locality
+  from the sparsity pattern alone).
+
+:func:`halo_for_owners` derives, for any ownership vector, exactly
+which remote vector entries every node must receive before a local
+``A x`` — the halo the executors in :mod:`repro.dist.halo` exchange.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.grid import Grid3D
+from repro.util.errors import InvalidValue
+
+
+class Block1D:
+    """``n`` indices in ``p`` contiguous blocks, sizes differing by <= 1."""
+
+    def __init__(self, n: int, p: int):
+        if p < 1:
+            raise InvalidValue(f"need at least one block, got {p}")
+        if n < 0:
+            raise InvalidValue(f"negative index space: {n}")
+        self.n = n
+        self.p = p
+        base, extra = divmod(n, p)
+        sizes = np.full(p, base, dtype=np.int64)
+        sizes[:extra] += 1
+        self._sizes = sizes
+        self._starts = np.concatenate(([0], np.cumsum(sizes)))
+
+    def local_size(self, k: int) -> int:
+        return int(self._sizes[k])
+
+    def local_indices(self, k: int) -> np.ndarray:
+        return np.arange(self._starts[k], self._starts[k + 1], dtype=np.int64)
+
+    def owner(self, indices) -> np.ndarray:
+        indices = np.asarray(indices, dtype=np.int64)
+        return np.searchsorted(self._starts, indices, side="right") - 1
+
+
+class BlockCyclic1D:
+    """Blocks of ``block`` consecutive indices dealt round-robin to nodes."""
+
+    def __init__(self, n: int, p: int, block: int = 1):
+        if p < 1:
+            raise InvalidValue(f"need at least one node, got {p}")
+        if block < 1:
+            raise InvalidValue(f"block size must be >= 1, got {block}")
+        self.n = n
+        self.p = p
+        self.block = block
+
+    def owner(self, indices) -> np.ndarray:
+        indices = np.asarray(indices, dtype=np.int64)
+        return (indices // self.block) % self.p
+
+    def local_indices(self, k: int) -> np.ndarray:
+        idx = np.arange(self.n, dtype=np.int64)
+        return idx[self.owner(idx) == k]
+
+    def local_size(self, k: int) -> int:
+        full_rounds, rem = divmod(self.n, self.p * self.block)
+        size = full_rounds * self.block
+        # the trailing partial round deals whole blocks in rank order
+        start = k * self.block
+        size += max(0, min(rem - start, self.block))
+        return size
+
+
+def factor3(p: int) -> Tuple[int, int, int]:
+    """Factor ``p`` into ``px <= py <= pz`` with ``px*py*pz == p``.
+
+    Chooses the most cube-like process grid: the largest divisor of
+    ``p`` not exceeding its cube root, then the largest divisor of the
+    quotient not exceeding its square root.
+    """
+    if p < 1:
+        raise InvalidValue(f"need at least one process, got {p}")
+    px = 1
+    for d in range(1, int(round(p ** (1.0 / 3.0))) + 1):
+        if p % d == 0 and d * d * d <= p:
+            px = d
+    rest = p // px
+    py = 1
+    for d in range(1, int(round(rest ** 0.5)) + 1):
+        if rest % d == 0 and d * d <= rest:
+            py = d
+    px, py, pz = sorted((px, py, rest // py))
+    return px, py, pz
+
+
+class Grid3DPartition:
+    """Axis-aligned boxes over a :class:`Grid3D`.
+
+    ``shape`` is the process grid ``(px, py, pz)`` (defaults to
+    :func:`factor3`); every grid dimension must divide evenly so each
+    node owns an identical ``sx x sy x sz`` box — the reference HPCG's
+    constraint, which keeps the computation perfectly balanced.
+    """
+
+    def __init__(self, grid: Grid3D, p: int,
+                 shape: Optional[Tuple[int, int, int]] = None):
+        if p < 1:
+            raise InvalidValue(f"need at least one node, got {p}")
+        if shape is None:
+            shape = factor3(p)
+        px, py, pz = shape
+        if px * py * pz != p:
+            raise InvalidValue(
+                f"process grid {shape} has {px * py * pz} nodes, expected {p}"
+            )
+        if grid.nx % px or grid.ny % py or grid.nz % pz:
+            raise InvalidValue(
+                f"grid {grid.dims} not divisible by process grid {shape}"
+            )
+        self.grid = grid
+        self.p = p
+        self.shape = (px, py, pz)
+        self.local_dims = (grid.nx // px, grid.ny // py, grid.nz // pz)
+
+    def owner(self, indices) -> np.ndarray:
+        ix, iy, iz = self.grid.coords(np.asarray(indices, dtype=np.int64))
+        sx, sy, sz = self.local_dims
+        px, py, _pz = self.shape
+        bx, by, bz = ix // sx, iy // sy, iz // sz
+        return (bz * py + by) * px + bx
+
+    def local_size(self, k: int) -> int:
+        sx, sy, sz = self.local_dims
+        return sx * sy * sz
+
+    def local_indices(self, k: int) -> np.ndarray:
+        owners = self.owner(np.arange(self.grid.npoints, dtype=np.int64))
+        return np.flatnonzero(owners == k)
+
+    def halo_surface_points(self) -> int:
+        """Points on the six faces' adjacent planes: 2(sx sy + sy sz + sx sz)."""
+        sx, sy, sz = self.local_dims
+        return 2 * (sx * sy + sy * sz + sx * sz)
+
+    def halo_exchanges(self, indptr: np.ndarray,
+                       indices: np.ndarray) -> Dict[Tuple[int, int], np.ndarray]:
+        """Per ``(src, dst)`` pair, the global columns ``dst`` receives."""
+        owners = self.owner(np.arange(self.grid.npoints, dtype=np.int64))
+        return halo_for_owners(indptr, indices, owners, self.p)
+
+
+def halo_for_owners(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    owners: np.ndarray,
+    p: int,
+) -> Dict[Tuple[int, int], np.ndarray]:
+    """The halo induced by an arbitrary ownership vector.
+
+    For every node ``dst``, the remote columns referenced by the rows it
+    owns, grouped by the owning node ``src``; each value array is sorted
+    by global index.  Serial ownership yields ``{}``.
+    """
+    owners = np.asarray(owners, dtype=np.int64)
+    n = owners.shape[0]
+    row_nnz = np.diff(indptr).astype(np.int64)
+    dst = np.repeat(owners, row_nnz)
+    cols = np.asarray(indices, dtype=np.int64)
+    remote = owners[cols] != dst
+    if not remote.any():
+        return {}
+    # unique (dst, column) pairs; the column's owner is the source
+    key = dst[remote] * n + cols[remote]
+    uniq = np.unique(key)
+    u_dst = uniq // n
+    u_col = uniq % n
+    u_src = owners[u_col]
+    out: Dict[Tuple[int, int], np.ndarray] = {}
+    pair = u_src * p + u_dst
+    order = np.argsort(pair, kind="stable")
+    pair_sorted = pair[order]
+    col_sorted = u_col[order]
+    boundaries = np.flatnonzero(np.diff(pair_sorted)) + 1
+    starts = np.concatenate(([0], boundaries))
+    ends = np.concatenate((boundaries, [pair_sorted.size]))
+    for s, e in zip(starts, ends):
+        src = int(pair_sorted[s]) // p
+        dst_k = int(pair_sorted[s]) % p
+        out[(src, dst_k)] = np.sort(col_sorted[s:e])
+    return out
+
+
+def bfs_partition(indptr: np.ndarray, indices: np.ndarray,
+                  n: int, p: int) -> np.ndarray:
+    """Black-box locality partition: BFS growth into balanced chunks.
+
+    Visits the structure breadth-first (restarting on disconnected
+    components) and assigns consecutive visit ranks to nodes in
+    balanced contiguous chunks, so each node owns a connected, roughly
+    spherical region — recovering most of the geometric partition's
+    locality from the sparsity pattern alone (paper §VII-B iv).
+    """
+    if p < 1:
+        raise InvalidValue(f"need at least one node, got {p}")
+    visit_rank = np.full(n, -1, dtype=np.int64)
+    seen = np.zeros(n, dtype=bool)
+    order = np.empty(n, dtype=np.int64)
+    count = 0
+    for seed in range(n):
+        if seen[seed]:
+            continue
+        queue = [seed]
+        seen[seed] = True
+        while queue:
+            next_queue = []
+            for i in queue:
+                order[count] = i
+                count += 1
+                for j in indices[indptr[i]:indptr[i + 1]]:
+                    if not seen[j]:
+                        seen[j] = True
+                        next_queue.append(int(j))
+            queue = next_queue
+    visit_rank[order] = np.arange(n, dtype=np.int64)
+    chunks = Block1D(n, p)
+    return chunks.owner(visit_rank)

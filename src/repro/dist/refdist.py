@@ -1,0 +1,93 @@
+"""The simulated reference backend: geometric 3D boxes + halo exchange.
+
+What the reference HPCG does with its geometry knowledge (paper §II,
+§IV): each node owns an axis-aligned box of the grid, an ``mxv`` only
+exchanges the O((n/p)^(2/3)) surface halo, the RBGS smoother exchanges
+one colour's halo slice per colour step, and restriction/refinement are
+purely node-local index copies (the coarse box of a node nests inside
+its fine box).  This is the backend that weak-scales in Figure 3 and
+the Ref column of Table I.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.dist.bsp import ARM_CLUSTER_NODE, BSPMachine
+from repro.dist.partition import Grid3DPartition, factor3
+from repro.dist.simulate import (
+    SimLevel,
+    SimulatedDistRun,
+    _MXV_NNZ_BYTES,
+    _MXV_ROW_BYTES,
+    _RESTRICT_COPY_BYTES,
+    per_node_color_work,
+    per_node_rows_and_nnz,
+)
+from repro.hpcg.problem import Problem
+
+
+class RefDistRun(SimulatedDistRun):
+    """Simulated distributed HPCG with the reference 3D distribution."""
+
+    backend = "ref-3d"
+
+    def __init__(self, problem: Problem, nprocs: int, mg_levels: int = 4,
+                 machine: BSPMachine = ARM_CLUSTER_NODE,
+                 process_grid: Optional[Tuple[int, int, int]] = None):
+        self._process_grid = process_grid if process_grid else factor3(nprocs)
+        super().__init__(problem, nprocs, mg_levels, machine)
+
+    def _init_level_comm(self, level: SimLevel) -> None:
+        p = self.nprocs
+        part = Grid3DPartition(level.grid, p, shape=self._process_grid)
+        level.partition = part
+        owners = part.owner(np.arange(level.n, dtype=np.int64))
+        halos = part.halo_exchanges(level.A.indptr, level.A.indices)
+        level.spmv_halo = {pair: int(idxs.size) * 8
+                           for pair, idxs in halos.items()}
+        # the colour classes partition every halo point
+        level.color_halo = []
+        for c in range(level.ncolors):
+            per = {}
+            for pair, idxs in halos.items():
+                npoints = int((level.colors[idxs] == c).sum())
+                if npoints:
+                    per[pair] = npoints * 8
+            level.color_halo.append(per)
+        rows, nnz = per_node_rows_and_nnz(level.A, owners, p)
+        work_bytes = nnz * _MXV_NNZ_BYTES + rows * _MXV_ROW_BYTES
+        level.spmv_work = (work_bytes, rows)
+        level.color_work = per_node_color_work(
+            level.A, owners, level.colors, p, level.ncolors
+        )
+
+    # --- communication hooks -------------------------------------------------
+    def _halo_exchange(self, halo, sync_label: str, timer_key: str,
+                       work_bytes: float) -> None:
+        for (src, dst), nbytes in halo.items():
+            self.tracker.send(src, dst, nbytes, label=sync_label)
+        stats = self.tracker.sync(label=sync_label)
+        self._tick_superstep(timer_key, work_bytes, stats.h)
+
+    def _spmv_comm(self, level: SimLevel, sync_label: str,
+                   timer_key: str) -> None:
+        self._halo_exchange(level.spmv_halo, sync_label, timer_key,
+                            float(level.spmv_work[0].max()))
+
+    def _rbgs_comm(self, level: SimLevel, color: int) -> None:
+        self._halo_exchange(level.color_halo[color], "rbgs_halo",
+                            f"mg/L{level.index}/rbgs",
+                            float(level.color_work[color]))
+
+    def _restrict_comm(self, fine: SimLevel, coarse: SimLevel) -> None:
+        # injection source (2x, 2y, 2z) lies in the same node's box:
+        # a local index copy, no messages, no barrier (paper §IV)
+        self._tick_local(f"mg/L{fine.index}/restrict",
+                         _RESTRICT_COPY_BYTES * self._vector_share(coarse.n))
+
+    def _prolong_comm(self, fine: SimLevel, coarse: SimLevel) -> None:
+        self._tick_local(f"mg/L{fine.index}/prolong",
+                         _RESTRICT_COPY_BYTES * self._vector_share(coarse.n))

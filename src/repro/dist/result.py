@@ -1,0 +1,66 @@
+"""The result record shared by all simulated distributed runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.dist.comm import CommTracker
+from repro.util.timer import TimerRegistry
+
+
+@dataclass
+class DistRunResult:
+    """One simulated distributed CG(+MG) run.
+
+    ``modelled_seconds`` is the BSP-priced execution time; ``timers``
+    holds its per-kernel decomposition under the same ``mg/L{i}/...`` /
+    ``cg/...`` labels the serial driver uses, so the Figure 4-7
+    breakdown code consumes either interchangeably.
+    """
+
+    backend: str
+    nprocs: int
+    n: int
+    iterations: int
+    residuals: List[float]
+    modelled_seconds: float
+    timers: TimerRegistry
+    tracker: CommTracker
+    mg_levels: int
+
+    @property
+    def final_residual(self) -> float:
+        return self.residuals[-1] if self.residuals else float("nan")
+
+    @property
+    def comm_bytes(self) -> int:
+        return self.tracker.total_bytes
+
+    @property
+    def syncs(self) -> int:
+        return self.tracker.num_syncs
+
+    def mg_level_breakdown(self) -> List[Dict[str, float]]:
+        """Per-MG-level shares of modelled time (the Fig. 6/7 quantity)."""
+        total = self.modelled_seconds or 1.0
+        rows = []
+        for i in range(self.mg_levels):
+            rbgs = self.timers.total(f"mg/L{i}/rbgs")
+            rr = (self.timers.total(f"mg/L{i}/restrict")
+                  + self.timers.total(f"mg/L{i}/prolong"))
+            rows.append({
+                "level": i,
+                "rbgs": rbgs / total,
+                "restrict_refine": rr / total,
+            })
+        return rows
+
+    def summary(self) -> str:
+        final = self.final_residual
+        return (
+            f"{self.backend}: p={self.nprocs}, n={self.n}, "
+            f"{self.iterations} iterations, final residual {final:.3e}, "
+            f"modelled {self.modelled_seconds:.6f}s, "
+            f"comm {self.comm_bytes / 1e6:.3f} MB over {self.syncs} supersteps"
+        )

@@ -1,0 +1,296 @@
+"""Shared engine of the simulated distributed runs.
+
+The three backends (:class:`~repro.dist.hybrid.HybridALPRun`,
+:class:`~repro.dist.hybrid2d.Hybrid2DRun`,
+:class:`~repro.dist.refdist.RefDistRun`) run *identical numerics*: a
+scipy transcription of the serial GraphBLAS CG + multigrid V-cycle
+whose every floating-point operation mirrors the substrate's kernels —
+the same CSR row reductions, the same ``waxpby`` in-place update forms,
+the same colour order — so residual histories are bit-identical to
+``run_hpcg``.  What differs per backend is *communication*: subclasses
+override the ``*_comm`` hooks to record sends on the
+:class:`~repro.dist.comm.CommTracker` and to price each superstep on
+the BSP machine.
+
+This separation is the point of the simulation: convergence is provably
+unchanged by the distribution (the paper's Section V precondition), so
+backends compete purely on the communication they induce.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.dist.bsp import ARM_CLUSTER_NODE, BSPMachine
+from repro.dist.comm import CommTracker
+from repro.dist.result import DistRunResult
+from repro.grid import Grid3D, stencil_coo
+from repro.hpcg.coloring import lattice_coloring
+from repro.hpcg.problem import Problem
+from repro.util.errors import InvalidValue
+from repro.util.timer import TimerRegistry
+
+# bytes-per-element cost coefficients, matching the accounting of
+# repro.graphblas.backend.record and repro.perf.model.ref_stream_from_alp
+_MXV_NNZ_BYTES = 16.0
+_MXV_ROW_BYTES = 16.0
+_DOT_BYTES = 16.0
+_WAXPBY_BYTES = 24.0
+_RESTRICT_MXV_BYTES = 28.0    # ALP: materialised injection matrix mxv
+_RESTRICT_COPY_BYTES = 16.0   # Ref: raw index copy
+
+
+class SimLevel:
+    """One multigrid level's numeric data (operator, colours, injection)."""
+
+    def __init__(self, index: int, grid: Grid3D, A: sp.csr_matrix,
+                 stencil: str):
+        self.index = index
+        self.grid = grid
+        self.A = A
+        self.n = A.shape[0]
+        self.diag = A.diagonal()
+        self.colors = lattice_coloring(grid, stencil)
+        self.ncolors = int(self.colors.max()) + 1
+        self.color_rows = [np.flatnonzero(self.colors == c)
+                           for c in range(self.ncolors)]
+        self.color_blocks = [A[rows, :] for rows in self.color_rows]
+        # set by the hierarchy builder when a coarser level exists
+        self.injection: Optional[np.ndarray] = None
+
+
+class SimulatedDistRun:
+    """Base class: exact CG+MG numerics with pluggable communication."""
+
+    backend = "dist"
+
+    def __init__(self, problem: Problem, nprocs: int, mg_levels: int = 4,
+                 machine: BSPMachine = ARM_CLUSTER_NODE):
+        if nprocs < 1:
+            raise InvalidValue(f"need at least one process, got {nprocs}")
+        if mg_levels < 1:
+            raise InvalidValue(f"need at least one MG level, got {mg_levels}")
+        if problem.grid.max_mg_levels() < mg_levels:
+            raise InvalidValue(
+                f"grid {problem.grid.dims} supports at most "
+                f"{problem.grid.max_mg_levels()} MG levels, "
+                f"requested {mg_levels}"
+            )
+        self.problem = problem
+        self.nprocs = nprocs
+        self.mg_levels = mg_levels
+        self.machine = machine
+        self.n = problem.n
+        stencil = getattr(problem, "stencil", "27pt")
+        self.levels: List[SimLevel] = []
+        grid = problem.grid
+        A = problem.A.to_scipy()
+        for index in range(mg_levels):
+            level = SimLevel(index, grid, A, stencil)
+            self.levels.append(level)
+            if index + 1 < mg_levels:
+                level.injection = grid.injection_indices()
+                grid = grid.coarsen()
+                rows, cols, vals = stencil_coo(grid, stencil)
+                A = sp.csr_matrix((vals, (rows, cols)),
+                                  shape=(grid.npoints, grid.npoints))
+                A.sort_indices()
+        for level in self.levels:
+            self._init_level_comm(level)
+        # populated by run_cg
+        self.tracker: Optional[CommTracker] = None
+        self.timers: Optional[TimerRegistry] = None
+        self._seconds = 0.0
+
+    # --- backend hooks -------------------------------------------------------
+    def _init_level_comm(self, level: SimLevel) -> None:
+        """Attach the backend's partition/communication data to a level."""
+        raise NotImplementedError
+
+    def _spmv_comm(self, level: SimLevel, sync_label: str,
+                   timer_key: str) -> None:
+        """Record the communication of one full operator mxv."""
+        raise NotImplementedError
+
+    def _rbgs_comm(self, level: SimLevel, color: int) -> None:
+        """Record the communication of one colour's masked mxv."""
+        raise NotImplementedError
+
+    def _restrict_comm(self, fine: SimLevel, coarse: SimLevel) -> None:
+        raise NotImplementedError
+
+    def _prolong_comm(self, fine: SimLevel, coarse: SimLevel) -> None:
+        raise NotImplementedError
+
+    # --- pricing helpers -----------------------------------------------------
+    def _tick(self, key: str, seconds: float) -> None:
+        self.timers.tick(key, seconds)
+        self._seconds += seconds
+
+    def _tick_superstep(self, key: str, work_bytes: float, h: int) -> None:
+        self._tick(key, self.machine.superstep_time(work_bytes, h))
+
+    def _tick_local(self, key: str, work_bytes: float) -> None:
+        self._tick(key, self.machine.work_time(work_bytes))
+
+    def _vector_share(self, n: int) -> float:
+        """Largest per-node share of an ``n``-vector (for local-op work)."""
+        return float(-(-n // self.nprocs))
+
+    def _dot_comm(self, n: int) -> None:
+        self.tracker.allreduce_scalar(label="dot")
+        stats = self.tracker.sync(label="dot")
+        self._tick_superstep("cg/dot", _DOT_BYTES * self._vector_share(n),
+                             stats.h)
+
+    def _waxpby_cost(self, n: int) -> None:
+        self._tick_local("cg/waxpby", _WAXPBY_BYTES * self._vector_share(n))
+
+    # --- exact numerics ------------------------------------------------------
+    def _dot(self, u: np.ndarray, v: np.ndarray) -> float:
+        value = float(np.dot(u, v))
+        self._dot_comm(u.shape[0])
+        return value
+
+    def _norm(self, r: np.ndarray) -> float:
+        return float(np.sqrt(self._dot(r, r)))
+
+    def _spmv(self, level: SimLevel, x: np.ndarray, sync_label: str,
+              timer_key: str) -> np.ndarray:
+        self._spmv_comm(level, sync_label, timer_key)
+        return level.A @ x
+
+    def _smooth(self, level: SimLevel, z: np.ndarray, r: np.ndarray,
+                sweeps: int) -> None:
+        for _ in range(sweeps):
+            self._half_sweep(level, z, r, range(level.ncolors))
+            self._half_sweep(level, z, r,
+                             range(level.ncolors - 1, -1, -1))
+
+    def _half_sweep(self, level: SimLevel, z: np.ndarray, r: np.ndarray,
+                    order) -> None:
+        for c in order:
+            rows = level.color_rows[c]
+            s = level.color_blocks[c] @ z
+            d = level.diag[rows]
+            z[rows] = (r[rows] - s + z[rows] * d) / d
+            self._rbgs_comm(level, c)
+
+    def _vcycle(self, li: int, z: np.ndarray, r: np.ndarray) -> np.ndarray:
+        level = self.levels[li]
+        self._smooth(level, z, r, sweeps=1)          # pre-smoothing
+        if li + 1 == len(self.levels):
+            return z
+        coarse = self.levels[li + 1]
+        f = self._spmv(level, z, "mg_spmv", f"mg/L{li}/spmv")
+        f *= -1.0
+        f += 1.0 * r                                  # f <- r - A z
+        rc = f[level.injection].copy()                # restrict (injection)
+        self._restrict_comm(level, coarse)
+        zc = np.zeros(coarse.n)
+        self._vcycle(li + 1, zc, rc)
+        z[level.injection] += zc                      # refine-and-add
+        self._prolong_comm(level, coarse)
+        self._smooth(level, z, r, sweeps=1)           # post-smoothing
+        return z
+
+    def _precondition(self, r: np.ndarray) -> np.ndarray:
+        z = np.zeros(self.n)
+        self._vcycle(0, z, r)
+        return z
+
+    def run_cg(self, max_iters: int = 50, use_mg: bool = True,
+               tolerance: float = 0.0) -> DistRunResult:
+        """Simulate a full preconditioned CG solve.
+
+        The iteration structure transcribes :func:`repro.hpcg.cg.pcg`
+        operation for operation, so the residual history is
+        bit-identical to the serial driver's.
+        """
+        self.tracker = CommTracker(self.nprocs)
+        self.timers = TimerRegistry()
+        self._seconds = 0.0
+        level0 = self.levels[0]
+        n = self.n
+        b = self.problem.b.to_dense()
+        x = self.problem.x0.to_dense()
+
+        Ap = self._spmv(level0, x, "spmv", "cg/spmv")
+        r = np.multiply(b, 1.0)
+        r += -1.0 * Ap                                 # r <- b - A x
+        self._waxpby_cost(n)
+        normr0 = normr = self._norm(r)
+        residuals = [normr]
+
+        iterations = 0
+        if normr0 != 0.0:
+            rtz = 0.0
+            p = np.empty(n)
+            for k in range(1, max_iters + 1):
+                if tolerance > 0 and normr / normr0 <= tolerance:
+                    break
+                if use_mg:
+                    z = self._precondition(r)          # z <- M r
+                else:
+                    z = np.multiply(r, 1.0)
+                    z += 0.0 * r                       # z <- r
+                    self._waxpby_cost(n)
+                if k == 1:
+                    np.multiply(z, 1.0, out=p)
+                    p += 0.0 * z                       # p <- z
+                    self._waxpby_cost(n)
+                    rtz = self._dot(r, z)
+                else:
+                    rtz_old = rtz
+                    rtz = self._dot(r, z)
+                    beta = rtz / rtz_old
+                    p *= beta
+                    p += 1.0 * z                       # p <- z + beta p
+                    self._waxpby_cost(n)
+                Ap = self._spmv(level0, p, "spmv", "cg/spmv")
+                pAp = self._dot(p, Ap)
+                alpha = rtz / pAp
+                x *= 1.0
+                x += alpha * p                         # x <- x + alpha p
+                self._waxpby_cost(n)
+                r *= 1.0
+                r += -alpha * Ap                       # r <- r - alpha Ap
+                self._waxpby_cost(n)
+                normr = self._norm(r)
+                residuals.append(normr)
+                iterations = k
+
+        return DistRunResult(
+            backend=self.backend,
+            nprocs=self.nprocs,
+            n=n,
+            iterations=iterations,
+            residuals=residuals,
+            modelled_seconds=self._seconds,
+            timers=self.timers,
+            tracker=self.tracker,
+            mg_levels=self.mg_levels,
+        )
+
+
+def per_node_rows_and_nnz(A: sp.csr_matrix, owners: np.ndarray, p: int):
+    """Per-node owned-row counts and stored-entry counts."""
+    row_nnz = np.diff(A.indptr).astype(np.int64)
+    rows = np.bincount(owners, minlength=p).astype(np.int64)
+    nnz = np.bincount(owners, weights=row_nnz, minlength=p).astype(np.int64)
+    return rows, nnz
+
+
+def per_node_color_work(A: sp.csr_matrix, owners: np.ndarray,
+                        colors: np.ndarray, p: int, ncolors: int):
+    """Per-colour worst-node mxv work in bytes."""
+    row_nnz = np.diff(A.indptr).astype(np.int64)
+    key = owners * ncolors + colors
+    nnz = np.bincount(key, weights=row_nnz,
+                      minlength=p * ncolors).reshape(p, ncolors)
+    rows = np.bincount(key, minlength=p * ncolors).reshape(p, ncolors)
+    work = nnz * _MXV_NNZ_BYTES + rows * _MXV_ROW_BYTES
+    return work.max(axis=0)

@@ -43,7 +43,7 @@ class HPCGResult:
     mg_levels: int
     # with repetitions > 1 (the paper repeats each experiment 10 times
     # and reports averages): per-repetition wall-clock of the timed run
-    repetition_seconds: List[float] = None
+    repetition_seconds: List[float] = field(default_factory=list)
 
     @property
     def run_seconds_std(self) -> float:

@@ -1,0 +1,39 @@
+"""Smoke tests: the examples must keep running end-to-end.
+
+The distributed-scaling example is the shop window for ``repro.dist``;
+run it at a tiny problem size so a regression in any backend's public
+API surfaces as a test failure, not as a rotted script.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _run_example(script: str, *args: str) -> str:
+    env = dict(os.environ)
+    src = str(REPO / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, str(REPO / "examples" / script), *args],
+        capture_output=True, text=True, timeout=300, env=env,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+class TestDistributedScalingExample:
+    def test_runs_end_to_end_tiny(self):
+        out = _run_example("distributed_scaling.py", "8", "4")
+        # one row per node count, plus the findings epilogue
+        for token in ("weak scaling", "ALP comm MB", "Ref comm MB",
+                      "what to look for"):
+            assert token in out
+        # p=2, 3 and 4 rows all printed; p=4 exercises the 2D backend
+        lines = [ln for ln in out.splitlines()
+                 if ln.strip().startswith(("2 ", "3 ", "4 "))]
+        assert len(lines) == 3
+        assert "-" not in lines[2].split()[4], "2D column should be numeric at p=4"
