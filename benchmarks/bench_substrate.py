@@ -1,9 +1,11 @@
 """Benchmarks of the wider GraphBLAS substrate surface.
 
-Covers the operations HPCG doesn't use but a standalone GraphBLAS
-release must perform sensibly: matrix elementwise algebra, select,
-reductions-to-vector, graph algorithms, parallel colouring, and the
-locally-executed halo spmv.
+Covers the storage-format providers head to head (SpMV and RBGS per
+substrate, discovered through the auto-selection registry, so the
+format tradeoff is *measured*, not asserted), plus the operations HPCG
+doesn't use but a standalone GraphBLAS release must perform sensibly:
+matrix elementwise algebra, select, reductions-to-vector, graph
+algorithms, parallel colouring, and the locally-executed halo spmv.
 """
 
 import numpy as np
@@ -12,13 +14,79 @@ import pytest
 from repro import graphblas as grb
 from repro.dist import Grid3DPartition, LocalSpmvExecutor
 from repro.graphblas import selectops
+from repro.graphblas import substrate
 from repro.graphblas.algorithms import bfs_levels, pagerank, sssp
-from repro.hpcg.coloring import greedy_coloring, jones_plassmann_coloring
+from repro.hpcg.coloring import (
+    color_masks,
+    greedy_coloring,
+    jones_plassmann_coloring,
+    lattice_coloring,
+)
+from repro.hpcg.smoothers import RBGSSmoother
 
 
 @pytest.fixture(scope="module")
 def A16(problem16):
     return problem16.A
+
+
+# ---------------------------------------------------------------------------
+# provider-parametrized format benchmarks (CSR vs SELL-C-σ vs blocked)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", substrate.available())
+def bench_provider_spmv(benchmark, name, problem16, rhs16):
+    """Full SpMV per storage format, bit-checked against the reference."""
+    A = grb.Matrix.from_scipy(problem16.A.to_scipy(), substrate=name)
+    assert A.substrate == name
+    x = grb.Vector.from_dense(rhs16)
+    y = grb.Vector.dense(problem16.n)
+    benchmark(grb.mxv, y, None, A, x)
+    want = grb.Vector.dense(problem16.n)
+    grb.mxv(want, None, problem16.A, x)
+    assert np.array_equal(y.to_dense(), want.to_dense())
+
+
+@pytest.mark.parametrize("name", substrate.available())
+def bench_provider_rbgs(benchmark, name, problem16, rhs16):
+    """One symmetric RBGS sweep per format (the masked-mxv hot path)."""
+    A = grb.Matrix.from_scipy(problem16.A.to_scipy(), substrate=name)
+    colors = color_masks(lattice_coloring(problem16.grid))
+    smoother = RBGSSmoother(A, problem16.A_diag, colors)
+    r = grb.Vector.from_dense(rhs16)
+
+    def sweep():
+        z = grb.Vector.dense(problem16.n)
+        smoother.smooth(z, r, sweeps=1)
+        return z
+
+    z = benchmark(sweep)
+    ref = RBGSSmoother(problem16.A, problem16.A_diag, colors)
+    z_ref = grb.Vector.dense(problem16.n)
+    ref.smooth(z_ref, r, sweeps=1)
+    assert np.array_equal(z.to_dense(), z_ref.to_dense())
+
+
+@pytest.mark.parametrize("name", substrate.available())
+def bench_provider_build(benchmark, name, problem16):
+    """Format construction cost — the price auto-selection must amortise."""
+    csr = problem16.A.to_scipy()
+    prov = benchmark(substrate.get(name), csr)
+    assert prov.nnz == problem16.A.nvals
+
+
+def bench_provider_bytes_reported(problem16, rhs16):
+    """Not a timing: assert the registry prices each format differently."""
+    x = grb.Vector.from_dense(rhs16)
+    totals = {}
+    for name in substrate.available():
+        A = grb.Matrix.from_scipy(problem16.A.to_scipy(), substrate=name)
+        y = grb.Vector.dense(problem16.n)
+        log = grb.backend.EventLog()
+        with grb.backend.collect(log):
+            grb.mxv(y, None, A, x)
+        totals[name] = log.total("bytes", fmt=name)
+    assert len(set(totals.values())) == len(totals), totals
 
 
 def bench_select_tril(benchmark, A16):

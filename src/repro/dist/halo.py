@@ -10,8 +10,13 @@ sweep equals the shared-memory :class:`~repro.ref.sgs.RefRBGS`.
 
 Bit-equality holds because each local matrix keeps its row entries in
 ascending *global* column order (the local column renumbering is
-monotone), so scipy's CSR row reduction accumulates partial products in
-exactly the order the global kernel uses.
+monotone), so the local kernel accumulates partial products in exactly
+the order the global kernel uses.  The local kernels themselves run on
+:mod:`repro.graphblas.substrate` providers — per-node format selection
+(or a global ``REPRO_SUBSTRATE`` force, or the ``substrate=`` argument)
+applies to the distributed executors exactly as it does to the serial
+``Matrix``, and every provider honours the same accumulation-order
+contract, so the executors are substrate-agnostic by construction.
 
 :class:`LocalRBGSExecutor` implements the paper's §IV per-colour
 exchange protocol: after the rows of colour ``c`` update, only the halo
@@ -22,7 +27,7 @@ full halo — in eight latency-separated slices.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -30,6 +35,8 @@ import scipy.sparse as sp
 
 from repro.dist.comm import CommTracker
 from repro.dist.partition import halo_for_owners
+from repro.graphblas import substrate as substrate_mod
+from repro.graphblas.substrate.base import KernelProvider
 from repro.util.errors import DimensionMismatch, InvalidValue
 
 
@@ -41,6 +48,19 @@ class LocalNode:
     rows: np.ndarray            # global row indices owned by this node
     cols: np.ndarray            # global column indices visible locally
     local_matrix: sp.csr_matrix  # rows x cols, ascending global col order
+    substrate: str               # resolved provider name for this node
+    _provider: Optional[KernelProvider] = field(
+        default=None, init=False, repr=False, compare=False)
+
+    @property
+    def provider(self) -> KernelProvider:
+        """Substrate kernel over ``local_matrix``, built on first use
+        (the RBGS executor computes with per-colour blocks only and
+        never needs the whole-matrix structure)."""
+        if self._provider is None:
+            self._provider = substrate_mod.get(self.substrate)(
+                self.local_matrix)
+        return self._provider
 
 
 def _canonical_csr(A: sp.spmatrix) -> sp.csr_matrix:
@@ -56,7 +76,8 @@ class LocalSpmvExecutor:
     """Distributed SpMV: per-node local matrices + one halo superstep."""
 
     def __init__(self, A: sp.spmatrix, owners: np.ndarray, nprocs: int,
-                 tracker: Optional[CommTracker] = None):
+                 tracker: Optional[CommTracker] = None,
+                 substrate: Optional[str] = None):
         A = _canonical_csr(A)
         owners = np.asarray(owners, dtype=np.int64)
         if owners.shape[0] != A.shape[0]:
@@ -83,8 +104,14 @@ class LocalSpmvExecutor:
             cols = np.unique(block.indices)
             local = block[:, cols]
             local.sort_indices()
-            self.nodes.append(LocalNode(rank=k, rows=rows, cols=cols,
-                                        local_matrix=local))
+            # each node picks its substrate for its own local block
+            # (explicit > REPRO_SUBSTRATE > per-matrix heuristic);
+            # resolved now, built lazily on first use
+            self.nodes.append(LocalNode(
+                rank=k, rows=rows, cols=cols, local_matrix=local,
+                substrate=substrate_mod.resolve(local, substrate),
+            ))
+        self.substrate = substrate
 
     def halo_bytes_per_exchange(self) -> int:
         """Bytes one full halo exchange moves (8 bytes per point)."""
@@ -108,7 +135,7 @@ class LocalSpmvExecutor:
         self._exchange()
         y = np.empty(self.n, dtype=np.result_type(x.dtype, np.float64))
         for node in self.nodes:
-            y[node.rows] = node.local_matrix @ x[node.cols]
+            y[node.rows] = node.provider.mxv(x[node.cols])
         return y
 
 
@@ -117,7 +144,8 @@ class LocalRBGSExecutor:
 
     def __init__(self, A: sp.spmatrix, owners: np.ndarray, nprocs: int,
                  colors: np.ndarray,
-                 tracker: Optional[CommTracker] = None):
+                 tracker: Optional[CommTracker] = None,
+                 substrate: Optional[str] = None):
         A = _canonical_csr(A)
         colors = np.asarray(colors, dtype=np.int64)
         if colors.shape[0] != A.shape[0]:
@@ -127,23 +155,28 @@ class LocalRBGSExecutor:
         diag = A.diagonal()
         if (diag == 0).any():
             raise InvalidValue("RBGS requires a nonzero diagonal")
-        self.base = LocalSpmvExecutor(A, owners, nprocs, tracker=tracker)
+        self.base = LocalSpmvExecutor(A, owners, nprocs, tracker=tracker,
+                                      substrate=substrate)
         self.n = A.shape[0]
         self.colors = colors
         self.ncolors = int(colors.max()) + 1 if colors.size else 0
         self.tracker = tracker
         self.diag = diag
+        self.substrate = substrate
         # per-colour slice of each node's rows: colour-row indices into
-        # the node's local row block (a row submatrix keeps column order).
+        # the node's local row block (a row submatrix keeps column order,
+        # so the provider's accumulation contract carries over).
         self._color_rows: List[List[np.ndarray]] = []      # [node][color]
-        self._color_blocks: List[List[sp.csr_matrix]] = []
+        self._color_blocks: List[List[KernelProvider]] = []
         for node in self.base.nodes:
             row_colors = colors[node.rows]
             per_color_rows, per_color_blocks = [], []
             for c in range(self.ncolors):
                 sel = np.flatnonzero(row_colors == c)
                 per_color_rows.append(node.rows[sel])
-                per_color_blocks.append(node.local_matrix[sel, :])
+                per_color_blocks.append(
+                    substrate_mod.make(node.local_matrix[sel, :], substrate)
+                )
             self._color_rows.append(per_color_rows)
             self._color_blocks.append(per_color_blocks)
         # per-colour halo: the colour classes partition the halo points
@@ -174,7 +207,7 @@ class LocalRBGSExecutor:
             if rows.size == 0:
                 continue
             node = self.base.nodes[k]
-            s = self._color_blocks[k][c] @ z[node.cols]
+            s = self._color_blocks[k][c].mxv(z[node.cols])
             d = self.diag[rows]
             z[rows] = (r[rows] - s + z[rows] * d) / d
 

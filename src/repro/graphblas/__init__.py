@@ -66,6 +66,7 @@ from repro.graphblas.semiring import (
     plus_times,
 )
 from repro.graphblas import algorithms
+from repro.graphblas import substrate
 from repro.graphblas.pipeline import Pipeline, PipelineStats
 from repro.graphblas.vector import Vector
 from repro.graphblas import backend
@@ -120,6 +121,7 @@ __all__ = [
     "max_second",
     "lor_land",
     "algorithms",
+    "substrate",
     "Pipeline",
     "PipelineStats",
     # operations

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable, Iterator, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional
 
 
 @dataclass(frozen=True)
@@ -29,17 +29,24 @@ class PerfEvent:
     flops: int       # floating-point operations
     bytes: int       # bytes read + written (useful-traffic lower bound)
     label: str = ""  # optional caller-provided tag (e.g. "rbgs", "restrict")
+    fmt: str = ""    # storage format that executed it ("csr", "sellcs", ...)
 
 
 _collector: Optional[Callable[[PerfEvent], None]] = None
 _label_stack: List[str] = []
 
 
-def record(op: str, rows: int, nnz: int, flops: int, nbytes: int) -> None:
-    """Emit an event to the installed collector (no-op when absent)."""
+def record(op: str, rows: int, nnz: int, flops: int, nbytes: int,
+           fmt: str = "") -> None:
+    """Emit an event to the installed collector (no-op when absent).
+
+    ``fmt`` names the substrate provider that executed the operation;
+    matrix-touching ops pass it so the perf layer can price and break
+    down a run per storage format, not just per kernel.
+    """
     if _collector is not None:
         label = _label_stack[-1] if _label_stack else ""
-        _collector(PerfEvent(op, rows, nnz, flops, nbytes, label))
+        _collector(PerfEvent(op, rows, nnz, flops, nbytes, label, fmt))
 
 
 def active() -> bool:
@@ -83,15 +90,25 @@ class EventLog:
     def __call__(self, event: PerfEvent) -> None:
         self.events.append(event)
 
-    def total(self, field: str, op: Optional[str] = None, label: Optional[str] = None) -> int:
+    def total(self, field: str, op: Optional[str] = None,
+              label: Optional[str] = None, fmt: Optional[str] = None) -> int:
         return sum(
             getattr(e, field)
             for e in self.events
-            if (op is None or e.op == op) and (label is None or e.label == label)
+            if (op is None or e.op == op)
+            and (label is None or e.label == label)
+            and (fmt is None or e.fmt == fmt)
         )
 
     def count(self, op: Optional[str] = None) -> int:
         return sum(1 for e in self.events if op is None or e.op == op)
+
+    def by_format(self, field: str = "bytes") -> Dict[str, int]:
+        """Aggregate ``field`` per substrate format (fmt-less ops under '')."""
+        out: Dict[str, int] = {}
+        for e in self.events:
+            out[e.fmt] = out.get(e.fmt, 0) + getattr(e, field)
+        return out
 
     def clear(self) -> None:
         self.events.clear()

@@ -23,6 +23,7 @@ from repro.graphblas import backend
 from repro.graphblas import descriptor as desc_mod
 from repro.graphblas.matrix import Matrix
 from repro.graphblas.operations import _mask_bool
+from repro.graphblas.substrate.csr import CsrProvider
 from repro.graphblas.vector import Vector
 from repro.util.errors import InvalidValue
 
@@ -51,24 +52,24 @@ def fused_masked_mxv_lambda(
     rows = np.flatnonzero(sel)
     cacheable = desc.structural and not desc.invert_mask
     if cacheable:
-        sub = A._rows_submatrix((id(mask), mask.version), rows, desc.transpose_matrix)
+        sub = A._rows_substructure(
+            (id(mask), mask.version), rows, desc.transpose_matrix
+        )
     else:
         base = A._transposed_csr() if desc.transpose_matrix else A._csr
-        sub = base[rows, :]
-    t = sub @ x._values
+        sub = CsrProvider(base[rows, :])
+    t = sub.mxv(x._values)
     fn(rows, t, *(v._values for v in vectors))
     for v in vectors:
         v._bump()
     if backend.active():
-        nnz = int(sub.nnz)
+        # the unfused pair costs the provider's full mxv traffic (tmp
+        # write + read included) plus the lambda's rows*8*(k+1); the
+        # provider prices what fusion elides in its format.
+        flops, nbytes = sub.fused_mxv_traffic(len(vectors))
         backend.record(
-            "fused_mxv_lambda",
-            rows.size,
-            nnz,
-            2 * nnz + 4 * rows.size,
-            # the unfused pair costs nnz*12 + rows*16 (mxv) plus
-            # rows*8*(k+1) (lambda); fusion removes the tmp round trip.
-            nnz * 12 + rows.size * 8 * (len(vectors) + 1),
+            "fused_mxv_lambda", rows.size, sub.nnz, flops, nbytes,
+            fmt=sub.name,
         )
 
 

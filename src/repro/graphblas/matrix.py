@@ -1,29 +1,47 @@
 """The opaque GraphBLAS matrix container.
 
-Storage is Compressed Sparse Row (CSR) via scipy, the format the paper
-names for reference HPCG (Section III-B).  Two backend caches matter for
-performance and are part of the reproduction's story:
+A ``Matrix`` holds a canonical Compressed Sparse Row copy of its
+entries (the source of truth for element access, I/O and the cold-path
+operations) and delegates its *hot* paths — ``mxv``, masked ``mxv``,
+the ``transpose_matrix`` descriptor, the fused RBGS product — to a
+:mod:`repro.graphblas.substrate` kernel provider selected per matrix:
 
-* a lazily-built transposed CSR, so the ``transpose_matrix`` descriptor
-  (used by refinement to reuse the restriction matrix) costs one
-  conversion, not one per call; and
-* per-mask row submatrices keyed by ``(id(mask), mask.version)``.  The
-  RBGS smoother issues a masked ``mxv`` per colour per sweep with the
-  *same* eight colour masks every time; caching the row extraction turns
-  the steady-state masked mxv into a plain CSR product on an eighth of
-  the rows, which is exactly the work the paper's complexity analysis
-  assigns to it (Section III-A).
+* the substrate is chosen at construction by the registry's structure
+  heuristic, forced globally via ``REPRO_SUBSTRATE``, or pinned
+  explicitly (``Matrix(csr, substrate="sellcs")`` /
+  :meth:`set_substrate`) — the paper's per-container format freedom;
+* every provider is bit-identical to the CSR reference, so the choice
+  is invisible to algorithm code (Section III-B's claim, enforced by
+  the substrate equivalence suite).
+
+Two backend caches matter for performance and are part of the
+reproduction's story:
+
+* a lazily-built provider over the transposed CSR, so the
+  ``transpose_matrix`` descriptor (used by refinement to reuse the
+  restriction matrix) costs one conversion, not one per call; and
+* per-mask row substructures keyed by ``(id(mask), mask.version)``,
+  kept in a bounded LRU.  The RBGS smoother issues a masked ``mxv`` per
+  colour per sweep with the *same* eight colour masks every time;
+  caching the extracted row structure turns the steady-state masked
+  mxv into a plain product on an eighth of the rows — exactly the work
+  the paper's complexity analysis assigns to it (Section III-A) — while
+  the LRU bound keeps long many-mask runs (deep MG hierarchies,
+  parameter sweeps) from growing memory without bound.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Tuple
+from collections import OrderedDict
+from typing import Iterable, Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp
 
 from repro.graphblas import types as gbtypes
+from repro.graphblas import substrate as substrate_mod
 from repro.graphblas.ops import BinaryOp
+from repro.graphblas.substrate.base import KernelProvider
 from repro.graphblas.vector import Vector
 from repro.util.errors import DimensionMismatch, InvalidValue
 
@@ -33,19 +51,35 @@ _MASK_CACHE_LIMIT = 32
 class Matrix:
     """An ``nrows x ncols`` sparse matrix over a predefined domain."""
 
-    __slots__ = ("_csr", "_csr_t", "_mask_cache", "_version")
+    __slots__ = (
+        "_csr", "_csr_t", "_mask_cache", "_version",
+        "_substrate_request", "_substrate", "_provider", "_provider_t",
+    )
 
-    def __init__(self, csr: sp.csr_matrix):
+    def __init__(self, csr: sp.csr_matrix, substrate: Optional[str] = None):
         if not sp.issparse(csr):
             raise InvalidValue("Matrix wraps a scipy sparse matrix; use from_* constructors")
         csr = csr.tocsr()
+        # canonicalise: sorted indices AND one value per coordinate
+        # (GraphBLAS semantics; also what every substrate provider
+        # assumes — a dense block cannot represent duplicates).  Copy
+        # first: sum_duplicates would change the caller's nnz in place.
+        if not csr.has_canonical_format:
+            csr = csr.copy()
+            csr.sum_duplicates()
         csr.sort_indices()
         gbtypes.as_dtype(csr.dtype)
+        if substrate is not None:
+            substrate_mod.get(substrate)  # validate the pin eagerly
         self._csr = csr
         self._csr_t: Optional[sp.csr_matrix] = None
-        # (id(mask), version) -> (row_indices, row_submatrix)
-        self._mask_cache: Dict[Tuple[int, int], Tuple[np.ndarray, sp.csr_matrix]] = {}
+        # LRU of (id(mask), version, transpose) -> (rows, substructure)
+        self._mask_cache: "OrderedDict[Tuple, Tuple[np.ndarray, KernelProvider]]" = OrderedDict()
         self._version = 0
+        self._substrate_request = substrate
+        self._substrate: Optional[str] = None       # resolved lazily
+        self._provider: Optional[KernelProvider] = None
+        self._provider_t: Optional[KernelProvider] = None
 
     # --- constructors -----------------------------------------------------
     @classmethod
@@ -58,6 +92,7 @@ class Matrix:
         ncols: int,
         dtype=None,
         dup_op: Optional[BinaryOp] = None,
+        substrate: Optional[str] = None,
     ) -> "Matrix":
         """Build from coordinates; ``dup_op`` combines duplicates.
 
@@ -94,26 +129,27 @@ class Matrix:
         else:
             # scipy's duplicate handling sums entries, matching plus.
             coo = sp.coo_matrix((v, (r, c)), shape=(nrows, ncols))
-        return cls(coo.tocsr())
+        return cls(coo.tocsr(), substrate=substrate)
 
     @classmethod
-    def from_dense(cls, array, dtype=None) -> "Matrix":
+    def from_dense(cls, array, dtype=None, substrate: Optional[str] = None) -> "Matrix":
         """Build from a 2-D array; zeros become absent entries."""
         arr = np.asarray(array)
         if dtype is not None:
             arr = arr.astype(gbtypes.as_dtype(dtype))
         if arr.ndim != 2:
             raise InvalidValue(f"expected 2-D data, got shape {arr.shape}")
-        return cls(sp.csr_matrix(arr))
+        return cls(sp.csr_matrix(arr), substrate=substrate)
 
     @classmethod
-    def from_scipy(cls, matrix: sp.spmatrix) -> "Matrix":
+    def from_scipy(cls, matrix: sp.spmatrix, substrate: Optional[str] = None) -> "Matrix":
         """Wrap (a CSR copy of) an existing scipy sparse matrix."""
-        return cls(sp.csr_matrix(matrix, copy=True))
+        return cls(sp.csr_matrix(matrix, copy=True), substrate=substrate)
 
     @classmethod
-    def identity(cls, n: int, dtype=gbtypes.FP64) -> "Matrix":
-        return cls(sp.identity(n, dtype=gbtypes.as_dtype(dtype), format="csr"))
+    def identity(cls, n: int, dtype=gbtypes.FP64, substrate: Optional[str] = None) -> "Matrix":
+        return cls(sp.identity(n, dtype=gbtypes.as_dtype(dtype), format="csr"),
+                   substrate=substrate)
 
     # --- properties ----------------------------------------------------------
     @property
@@ -139,6 +175,39 @@ class Matrix:
     @property
     def version(self) -> int:
         return self._version
+
+    # --- substrate ---------------------------------------------------------
+    @property
+    def substrate(self) -> str:
+        """The active provider name (explicit pin > env force > heuristic)."""
+        if self._substrate is None:
+            self._substrate = substrate_mod.resolve(
+                self._csr, self._substrate_request
+            )
+        return self._substrate
+
+    def set_substrate(self, name: Optional[str]) -> "Matrix":
+        """Pin this matrix to a provider (``None`` returns it to auto)."""
+        if name is not None:
+            substrate_mod.get(name)
+        self._substrate_request = name
+        self._substrate = None
+        self._provider = None
+        self._provider_t = None
+        self._mask_cache.clear()
+        return self
+
+    def provider(self, transpose: bool = False) -> KernelProvider:
+        """The active kernel provider (built lazily; transposed on demand)."""
+        if transpose:
+            if self._provider_t is None:
+                self._provider_t = substrate_mod.get(self.substrate)(
+                    self._transposed_csr()
+                )
+            return self._provider_t
+        if self._provider is None:
+            self._provider = substrate_mod.get(self.substrate)(self._csr)
+        return self._provider
 
     # --- element access ---------------------------------------------------------
     def extract_element(self, i: int, j: int):
@@ -179,10 +248,15 @@ class Matrix:
         self._csr_t = None
         self._mask_cache.clear()
         self._version += 1
+        # re-resolve on next use: the structure (and with it the
+        # heuristic's choice) may have changed
+        self._substrate = None
+        self._provider = None
+        self._provider_t = None
 
     # --- whole-container helpers ---------------------------------------------
     def dup(self) -> "Matrix":
-        return Matrix(self._csr.copy())
+        return Matrix(self._csr.copy(), substrate=self._substrate_request)
 
     def resize(self, nrows: int, ncols: int) -> None:
         """Change the dimensions (GrB_Matrix_resize).
@@ -205,7 +279,7 @@ class Matrix:
 
     def transpose(self) -> "Matrix":
         """A materialised transpose (prefer the transpose descriptor)."""
-        return Matrix(self._csr.T.tocsr())
+        return Matrix(self._csr.T.tocsr(), substrate=self._substrate_request)
 
     def diag(self) -> Vector:
         """The main diagonal as a vector (absent where not stored)."""
@@ -245,10 +319,11 @@ class Matrix:
             self._csr_t.sort_indices()
         return self._csr_t
 
-    def _rows_submatrix(
+    def _rows_substructure(
         self, mask_key: Tuple, rows: np.ndarray, transpose: bool = False
-    ) -> sp.csr_matrix:
-        """Row extraction ``A[rows, :]`` cached per mask identity+version.
+    ) -> KernelProvider:
+        """Active-provider structure over ``A[rows, :]``, LRU-cached per
+        mask identity+version.
 
         With ``transpose=True`` the extraction applies to the transposed
         operand (the ``transpose_matrix`` descriptor path).
@@ -256,15 +331,22 @@ class Matrix:
         key = (*mask_key, transpose)
         hit = self._mask_cache.get(key)
         if hit is not None and np.array_equal(hit[0], rows):
+            self._mask_cache.move_to_end(key)
             return hit[1]
-        base = self._transposed_csr() if transpose else self._csr
-        sub = base[rows, :]
-        if len(self._mask_cache) >= _MASK_CACHE_LIMIT:
-            self._mask_cache.pop(next(iter(self._mask_cache)))
+        sub = self.provider(transpose).extract_rows(rows)
+        while len(self._mask_cache) >= _MASK_CACHE_LIMIT:
+            self._mask_cache.popitem(last=False)
         self._mask_cache[key] = (rows.copy(), sub)
         return sub
 
+    def _rows_submatrix(
+        self, mask_key: Tuple, rows: np.ndarray, transpose: bool = False
+    ) -> sp.csr_matrix:
+        """Row extraction ``A[rows, :]`` as CSR, via the substructure cache."""
+        return self._rows_substructure(mask_key, rows, transpose).csr
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
-            f"Matrix(shape={self.shape}, nvals={self.nvals}, dtype={self.dtype})"
+            f"Matrix(shape={self.shape}, nvals={self.nvals}, "
+            f"dtype={self.dtype}, substrate={self.substrate!r})"
         )

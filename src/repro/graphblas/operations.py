@@ -181,15 +181,16 @@ def mxv(
 
     u_dense = u.is_dense()
     if semiring.is_plus_times and u_dense:
-        values, present, nnz = _mxv_fast(A, u, rows, sel is not None, mask, desc)
-        flops = 2 * nnz
+        values, present, nnz, flops, nbytes, fmt = _mxv_fast(
+            A, u, rows, sel is not None, mask, desc
+        )
     else:
         values, present, nnz = _mxv_generic(A, u, rows, semiring, desc)
         flops = 2 * nnz
+        nbytes = nnz * 16 + rows.size * 16
+        fmt = "csr"
     if backend.active():
-        backend.record(
-            "mxv", rows.size, nnz, flops, nnz * 16 + rows.size * 16
-        )
+        backend.record("mxv", rows.size, nnz, flops, nbytes, fmt=fmt)
     values = values.astype(w.dtype, copy=False)
     _writeback(w, rows, values, present, accum, desc)
     return w
@@ -202,24 +203,35 @@ def _mxv_fast(
     masked: bool,
     mask: Optional[Vector],
     desc: Descriptor,
-) -> Tuple[np.ndarray, np.ndarray, int]:
-    """plus-times with dense input: compiled CSR product."""
+) -> Tuple[np.ndarray, np.ndarray, int, int, int, str]:
+    """plus-times with dense input: the active substrate provider's kernel.
+
+    Returns ``(values, present, nnz, flops, bytes, fmt)`` — traffic
+    priced by the provider's own format model, so a SELL-C-σ run and a
+    CSR run of the same algorithm emit different byte streams.
+    """
     if not masked:
-        csr = A._transposed_csr() if desc.transpose_matrix else A._csr
-        y = csr @ u._values
-        row_nnz = np.diff(csr.indptr)
-        return y, row_nnz > 0, int(csr.nnz)
+        prov = A.provider(desc.transpose_matrix)
+        y = prov.mxv(u._values)
+        flops, nbytes = prov.mxv_traffic()
+        return y, prov.row_nnz > 0, prov.nnz, flops, nbytes, prov.name
     # Masked: invert_mask and value-masks change the row set per call, so
-    # only structural non-inverted masks hit the submatrix cache.
+    # only structural non-inverted masks hit the substructure cache;
+    # transient row subsets run on the reference CSR path.
     cacheable = desc.structural and not desc.invert_mask and mask is not None
     if cacheable:
-        sub = A._rows_submatrix((id(mask), mask.version), rows, desc.transpose_matrix)
-    else:
-        base = A._transposed_csr() if desc.transpose_matrix else A._csr
-        sub = base[rows, :]
+        sub = A._rows_substructure(
+            (id(mask), mask.version), rows, desc.transpose_matrix
+        )
+        y = sub.mxv(u._values)
+        flops, nbytes = sub.mxv_traffic()
+        return y, sub.row_nnz > 0, sub.nnz, flops, nbytes, sub.name
+    base = A._transposed_csr() if desc.transpose_matrix else A._csr
+    sub = base[rows, :]
     y = sub @ u._values
     row_nnz = np.diff(sub.indptr)
-    return y, row_nnz > 0, int(sub.nnz)
+    nnz = int(sub.nnz)
+    return y, row_nnz > 0, nnz, 2 * nnz, nnz * 16 + rows.size * 16, "csr"
 
 
 def _mxv_generic(
@@ -517,9 +529,16 @@ def reduce(u: Vector, monoid: Monoid):
 
 
 def reduce_matrix(A: Matrix, monoid: Monoid):
-    """Fold all stored entries of ``A``."""
+    """Fold all stored entries of ``A``.
+
+    A cold path: reads the canonical CSR value stream directly (every
+    provider's ``reduce_values`` is that same stream) rather than
+    forcing the acceleration structure to materialise — hence the event
+    is tagged ``fmt="csr"``, the format that actually executed it.
+    """
     if backend.active():
-        backend.record("reduce", 1, A.nvals, A.nvals, A.nvals * 8)
+        backend.record("reduce", 1, A.nvals, A.nvals, A.nvals * 8,
+                       fmt="csr")
     return monoid.reduce(A._csr.data)
 
 

@@ -1,0 +1,51 @@
+"""``repro.graphblas.substrate`` — pluggable storage formats & kernels.
+
+The substrate layer is the reproduction of the paper's key freedom: the
+algorithm (``repro.hpcg``) names GraphBLAS operations; *this* package
+decides how each matrix stores its entries and which kernel executes
+them, per matrix, with an explicit override and a CI-enforced
+bit-exactness contract across formats.
+
+Public surface:
+
+* :class:`KernelProvider` / :class:`MatrixProfile` — the format
+  contract and the structure statistics selection reads;
+* :class:`CsrProvider`, :class:`SellCSigmaProvider`,
+  :class:`BlockedDenseProvider` — the three built-in formats;
+* :func:`register` / :func:`available` / :func:`get` — the registry;
+* :func:`choose` / :func:`resolve` / :func:`make` — per-matrix
+  auto-selection (``REPRO_SUBSTRATE`` forces every unpinned matrix).
+"""
+
+from repro.graphblas.substrate.base import KernelProvider, MatrixProfile
+from repro.graphblas.substrate.blocked import BlockedDenseProvider
+from repro.graphblas.substrate.csr import CsrProvider
+from repro.graphblas.substrate.registry import (
+    AUTO_MIN_SIZE,
+    ENV_VAR,
+    available,
+    choose,
+    forced,
+    get,
+    make,
+    register,
+    resolve,
+)
+from repro.graphblas.substrate.sellcs import SellCSigmaProvider
+
+__all__ = [
+    "KernelProvider",
+    "MatrixProfile",
+    "CsrProvider",
+    "SellCSigmaProvider",
+    "BlockedDenseProvider",
+    "register",
+    "available",
+    "get",
+    "choose",
+    "resolve",
+    "make",
+    "forced",
+    "ENV_VAR",
+    "AUTO_MIN_SIZE",
+]

@@ -1,0 +1,198 @@
+"""The kernel-provider interface and the per-matrix structure profile.
+
+The paper's central architectural claim (Section III) is that an
+ALP/GraphBLAS program names *what* to compute while the library is free
+to choose *how*: the storage format and the kernel implementation — the
+"substrate" — are selected per container, per matrix structure, without
+the algorithm changing.  This package realises that split for the
+reproduction: :class:`KernelProvider` is the contract a storage format
+implements, and :class:`~repro.graphblas.matrix.Matrix` delegates its
+hot paths (mxv, masked mxv, the transpose descriptor, the fused RBGS
+product) to whichever provider is active.
+
+Contract — **bit-exactness**.  Every provider must produce results
+bit-identical to the scipy CSR reference (:class:`CsrProvider`): per
+output row, partial products are accumulated left-to-right in ascending
+column order starting from ``+0.0``, exactly as scipy's compiled
+``csr_matvec`` does.  Formats that pad (SELL-C-σ slices, dense row
+blocks) therefore *mask* their padding out of the accumulation instead
+of adding ``0.0`` terms, which would flip signed zeros.  The property
+suite in ``tests/test_substrate.py`` enforces this on random and
+stencil matrices, and the tier-1 CI runs the whole suite with each
+provider forced.
+
+Cold paths (element access, ewise matrix algebra, select, mxm, I/O)
+run on the canonical CSR every provider wraps — the format choice is an
+acceleration decision for the bandwidth-bound kernels, not a second
+source of truth.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import ClassVar, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+
+@dataclass(frozen=True)
+class MatrixProfile:
+    """Structure statistics driving per-matrix format selection.
+
+    These are the quantities the auto-selection heuristic reads: size,
+    density, and the shape of the row-length distribution (its mean and
+    coefficient of variation).  A 27-point stencil row block has
+    ``cv ≈ 0.2`` (fixed-length interior rows, shorter boundary rows); a
+    power-law graph has ``cv >> 1``.
+    """
+
+    nrows: int
+    ncols: int
+    nnz: int
+    mean_row_nnz: float
+    max_row_nnz: int
+    cv_row_nnz: float     # std/mean of the row-length distribution
+    density: float        # nnz / (nrows * ncols)
+
+    @classmethod
+    def from_csr(cls, csr: sp.csr_matrix) -> "MatrixProfile":
+        row_nnz = np.diff(csr.indptr)
+        nnz = int(csr.nnz)
+        nrows, ncols = csr.shape
+        mean = float(row_nnz.mean()) if nrows else 0.0
+        cv = float(row_nnz.std() / mean) if mean > 0 else 0.0
+        return cls(
+            nrows=nrows,
+            ncols=ncols,
+            nnz=nnz,
+            mean_row_nnz=mean,
+            max_row_nnz=int(row_nnz.max()) if nrows else 0,
+            cv_row_nnz=cv,
+            density=nnz / (nrows * ncols) if nrows and ncols else 0.0,
+        )
+
+
+class KernelProvider(abc.ABC):
+    """One storage format + kernel implementation behind a ``Matrix``.
+
+    A provider is built from (and keeps) a canonical sorted-index CSR;
+    subclasses add their own acceleration structure in :meth:`_build`.
+    The hot-path surface a provider serves:
+
+    * :meth:`mxv` — the full dense-input plus-times product;
+    * :meth:`extract_rows` — a same-format provider over a row subset,
+      which is how masked mxv, the transpose-mxv descriptor (a provider
+      over the transposed CSR) and the fused RBGS colour step execute;
+    * :meth:`mxv_traffic` — the (flops, bytes) price of one product *in
+      this format*, fed to :class:`repro.graphblas.backend.PerfEvent`
+      so the performance model charges each substrate its own traffic
+      (padding included).
+
+    Reductions and elementwise matrix algebra read the canonical
+    storage via :meth:`reduce_values` / :attr:`csr`.
+    """
+
+    #: registry key and the ``PerfEvent.fmt`` tag
+    name: ClassVar[str] = "abstract"
+
+    def __init__(self, csr: sp.csr_matrix):
+        csr = csr.tocsr()
+        if not csr.has_canonical_format:
+            # one value per coordinate: duplicate column entries would be
+            # summed by csr_matvec but last-write-win in a dense block
+            csr = csr.copy()
+            csr.sum_duplicates()
+        self._csr = csr
+        self._row_nnz = np.diff(csr.indptr)
+        self._build()
+
+    # --- structure ---------------------------------------------------------
+    @abc.abstractmethod
+    def _build(self) -> None:
+        """Construct the format's acceleration structure from ``self._csr``."""
+
+    @property
+    def csr(self) -> sp.csr_matrix:
+        """The canonical CSR this provider wraps (cold-path source of truth)."""
+        return self._csr
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self._csr.shape
+
+    @property
+    def nrows(self) -> int:
+        return self._csr.shape[0]
+
+    @property
+    def ncols(self) -> int:
+        return self._csr.shape[1]
+
+    @property
+    def nnz(self) -> int:
+        return int(self._csr.nnz)
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._csr.dtype
+
+    @property
+    def row_nnz(self) -> np.ndarray:
+        """Stored entries per row (drives output-presence semantics)."""
+        return self._row_nnz
+
+    def profile(self) -> MatrixProfile:
+        return MatrixProfile.from_csr(self._csr)
+
+    # --- hot paths ---------------------------------------------------------
+    @abc.abstractmethod
+    def mxv(self, x: np.ndarray) -> np.ndarray:
+        """``A @ x`` for dense ``x``, bit-identical to the CSR reference."""
+
+    def extract_rows(self, rows: np.ndarray) -> "KernelProvider":
+        """A same-format provider over ``A[rows, :]`` (masked-mxv path)."""
+        return type(self)(self._csr[rows, :])
+
+    # --- cold paths --------------------------------------------------------
+    def reduce_values(self) -> np.ndarray:
+        """All stored values, for monoid reductions over the matrix."""
+        return self._csr.data
+
+    # --- perf pricing ------------------------------------------------------
+    @abc.abstractmethod
+    def stored_entries(self) -> int:
+        """Entries the format physically stores, padding included."""
+
+    @abc.abstractmethod
+    def mxv_traffic(self) -> Tuple[int, int]:
+        """(flops, bytes) for one full :meth:`mxv` in this format.
+
+        Flops count real multiply-adds only (padding is masked, never
+        computed); bytes count the format's actual stored stream plus
+        the gather/output vector traffic, so a padded format is priced
+        for the padding it streams.
+        """
+
+    def fused_mxv_traffic(self, nvec: int) -> Tuple[int, int]:
+        """(flops, bytes) for the fused product+lambda step over ``nvec``
+        consumer vectors (:func:`repro.graphblas.fused`).
+
+        Relative to :meth:`mxv_traffic`, fusion elides the tmp vector's
+        round trip (16 B/row) and streams the input gather register-
+        resident (4 B/entry — the seed model's CSR numbers, applied
+        uniformly), then adds the lambda's own vector traffic.
+        """
+        flops, nbytes = self.mxv_traffic()
+        rows = self.nrows
+        return (
+            flops + 4 * rows,
+            nbytes - rows * 16 - self.nnz * 4 + rows * 8 * (nvec + 1),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(shape={self.shape}, nnz={self.nnz}, "
+            f"stored={self.stored_entries()})"
+        )

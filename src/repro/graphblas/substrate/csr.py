@@ -1,0 +1,40 @@
+"""The CSR reference provider — the seed implementation, unchanged.
+
+Compressed Sparse Row via scipy is the format the paper names for
+reference HPCG (Section III-B) and the bit-exactness yardstick every
+other provider is measured against: ``csr_matvec`` accumulates each
+row's partial products left-to-right in ascending column order from
+``+0.0``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.graphblas.substrate.base import KernelProvider
+
+
+class CsrProvider(KernelProvider):
+    """scipy CSR: one indptr/indices/data triplet, no padding."""
+
+    name = "csr"
+
+    def _build(self) -> None:
+        # the canonical CSR *is* the structure
+        pass
+
+    def mxv(self, x: np.ndarray) -> np.ndarray:
+        return self._csr @ x
+
+    def stored_entries(self) -> int:
+        return self.nnz
+
+    def mxv_traffic(self) -> Tuple[int, int]:
+        # 8B value + 4B column index + ~4B amortised indptr/gather per
+        # entry, plus read+write of the output row (the seed formula,
+        # kept verbatim so CSR-run byte streams match the original
+        # perf-model calibration).
+        nnz, rows = self.nnz, self.nrows
+        return 2 * nnz, nnz * 16 + rows * 16

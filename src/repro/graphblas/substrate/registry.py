@@ -1,0 +1,133 @@
+"""Provider registry, forcing, and the per-matrix selection heuristic.
+
+Selection order, mirroring how ALP picks a backend:
+
+1. an explicit request (``Matrix(..., substrate="sellcs")`` or
+   ``Matrix.set_substrate``) always wins — algorithm studies need to
+   pin a format;
+2. the ``REPRO_SUBSTRATE`` environment variable forces every
+   *unpinned* matrix onto one provider — the CI lever proving the
+   algorithm layer is substrate-independent;
+3. otherwise :func:`choose` inspects the matrix structure.
+
+The heuristic reads three signals from :class:`MatrixProfile` (size,
+row-length coefficient of variation, density):
+
+* small matrices stay on CSR — the coarse MG levels and test matrices
+  never amortise a format conversion (``AUTO_MIN_SIZE`` rows);
+* near-constant row lengths with substantial rows (the 27-point
+  stencil: cv ≈ 0.2, ~27 nnz/row) take the dense-blocked provider,
+  whose per-block ``x`` reuse is built for exactly that shape;
+* moderately varying rows take SELL-C-σ, whose sorted slices keep
+  vector lanes busy without ELLPACK's worst-case padding;
+* heavy skew (power-law-ish, cv > 2) falls back to CSR, where padding
+  cannot explode.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Tuple, Type
+
+import scipy.sparse as sp
+
+from repro.graphblas.substrate.base import KernelProvider, MatrixProfile
+from repro.graphblas.substrate.blocked import BlockedDenseProvider
+from repro.graphblas.substrate.csr import CsrProvider
+from repro.graphblas.substrate.sellcs import SellCSigmaProvider
+from repro.util.errors import InvalidValue
+
+ENV_VAR = "REPRO_SUBSTRATE"
+
+#: below this many rows auto-selection always stays on CSR
+AUTO_MIN_SIZE = 32768
+
+_REGISTRY: Dict[str, Type[KernelProvider]] = {}
+
+
+def register(cls: Type[KernelProvider],
+             replace: bool = False) -> Type[KernelProvider]:
+    """Add a provider class under ``cls.name`` (usable as a decorator).
+
+    Name collisions raise — silently shadowing a built-in (especially
+    ``csr``, the bit-exactness reference) would reroute every fallback
+    path through foreign code.  Pass ``replace=True`` to do it on
+    purpose.
+    """
+    if not cls.name or cls.name == "abstract":
+        raise InvalidValue("provider classes must define a unique name")
+    existing = _REGISTRY.get(cls.name)
+    if existing is not None and existing is not cls and not replace:
+        raise InvalidValue(
+            f"substrate {cls.name!r} is already registered "
+            f"({existing.__name__}); pass replace=True to override"
+        )
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def available() -> Tuple[str, ...]:
+    """Registered provider names, registration order."""
+    return tuple(_REGISTRY)
+
+
+def get(name: str) -> Type[KernelProvider]:
+    """The provider class registered under ``name``."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise InvalidValue(
+            f"unknown substrate {name!r}; available: {', '.join(_REGISTRY)}"
+        ) from None
+
+
+def forced() -> Optional[str]:
+    """The ``REPRO_SUBSTRATE`` override, validated; None when unset/auto."""
+    name = os.environ.get(ENV_VAR, "").strip()
+    if name.lower() in ("", "auto"):
+        return None
+    get(name)  # raise on typos rather than silently ignoring the force
+    return name
+
+
+def choose(csr: sp.csr_matrix) -> str:
+    """Pick a provider name from the matrix structure (rule order matters).
+
+    Besides the row-length *distribution*, the gates bound the *maximum*
+    row length relative to the mean: one outlier megarow barely moves
+    the cv of a large matrix, but blocked-dense pads every block to the
+    global maximum width (memory explodes) and SELL-C-σ pays one lane
+    pass per entry of its widest row (mxv degenerates to a scalar loop).
+    """
+    p = MatrixProfile.from_csr(csr)
+    if p.nrows < AUTO_MIN_SIZE or p.nnz == 0:
+        return CsrProvider.name
+    if p.density > 0.25:
+        return BlockedDenseProvider.name
+    if (p.cv_row_nnz <= 0.25 and p.mean_row_nnz >= 8.0
+            and p.max_row_nnz <= 2.0 * p.mean_row_nnz):
+        return BlockedDenseProvider.name
+    if p.cv_row_nnz <= 2.0 and p.max_row_nnz <= 16.0 * p.mean_row_nnz:
+        return SellCSigmaProvider.name
+    return CsrProvider.name
+
+
+def resolve(csr: sp.csr_matrix, request: Optional[str] = None) -> str:
+    """Apply the selection order: explicit > environment force > heuristic."""
+    if request is not None:
+        get(request)
+        return request
+    env = forced()
+    if env is not None:
+        return env
+    return choose(csr)
+
+
+def make(csr: sp.csr_matrix, request: Optional[str] = None) -> KernelProvider:
+    """Build the provider :func:`resolve` selects for ``csr``."""
+    return get(resolve(csr, request))(csr)
+
+
+register(CsrProvider)
+register(SellCSigmaProvider)
+register(BlockedDenseProvider)

@@ -85,6 +85,10 @@ def build_hierarchy(
     if smoother_factory is None:
         smoother_factory = RBGSSmoother
     stencil = getattr(problem, "stencil", "27pt")
+    # honour the problem's substrate pin on every coarse operator; None
+    # leaves each level to the per-matrix heuristic (the coarse levels
+    # are small enough that auto-selection keeps them on CSR).
+    substrate = getattr(problem, "substrate", None)
 
     def make_level(index: int, grid: Grid3D, A: grb.Matrix,
                    A_diag: grb.Vector) -> MGLevel:
@@ -101,7 +105,7 @@ def build_hierarchy(
     current = top
     for idx in range(1, levels):
         coarse_grid = current.grid.coarsen()
-        A_c = build_operator(coarse_grid, stencil)
+        A_c = build_operator(coarse_grid, stencil, substrate)
         level = make_level(idx, coarse_grid, A_c, grb.diag(A_c))
         current.R = build_restriction(current.grid)
         current.rc = grb.Vector.dense(coarse_grid.npoints)

@@ -20,7 +20,7 @@ Both exercise identical code paths; the driver records which one ran.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Literal
+from typing import Literal, Optional
 
 import numpy as np
 
@@ -44,6 +44,9 @@ class Problem:
     exact: grb.Vector
     b_style: BStyle = "reference"
     stencil: Stencil = "27pt"
+    # requested storage substrate (None = per-matrix auto-selection);
+    # recorded so the MG hierarchy can honour the same pin per level
+    substrate: Optional[str] = None
 
     @property
     def n(self) -> int:
@@ -57,10 +60,16 @@ class Problem:
         return grb.norm2(r)
 
 
-def build_operator(grid: Grid3D, stencil: Stencil = "27pt") -> grb.Matrix:
-    """The stencil operator as a GraphBLAS matrix (27-point = HPCG)."""
+def build_operator(grid: Grid3D, stencil: Stencil = "27pt",
+                   substrate: Optional[str] = None) -> grb.Matrix:
+    """The stencil operator as a GraphBLAS matrix (27-point = HPCG).
+
+    ``substrate`` pins the storage format/kernel provider; the default
+    lets the registry heuristic pick per matrix (paper Section III-B).
+    """
     rows, cols, vals = stencil_coo(grid, stencil)
-    return grb.Matrix.from_coo(rows, cols, vals, grid.npoints, grid.npoints)
+    return grb.Matrix.from_coo(rows, cols, vals, grid.npoints, grid.npoints,
+                               substrate=substrate)
 
 
 def generate_problem(
@@ -69,18 +78,21 @@ def generate_problem(
     nz: int = 0,
     b_style: BStyle = "reference",
     stencil: Stencil = "27pt",
+    substrate: Optional[str] = None,
 ) -> Problem:
     """Generate the HPCG system on an ``nx x ny x nz`` grid.
 
     ``ny``/``nz`` default to ``nx`` (cubical domain, the benchmark's
     usual configuration).  ``stencil="7pt"`` swaps in the face-neighbour
     Laplacian — not HPCG, but useful for studies (its dependency graph
-    is 2-colourable, the original red-black setting).
+    is 2-colourable, the original red-black setting).  ``substrate``
+    pins every operator (fine and, via :func:`build_hierarchy`, coarse)
+    to one storage format; ``None`` means per-matrix auto-selection.
     """
     ny = ny or nx
     nz = nz or nx
     grid = Grid3D(nx, ny, nz)
-    A = build_operator(grid, stencil)
+    A = build_operator(grid, stencil, substrate)
     n = grid.npoints
 
     A_diag = grb.diag(A)
@@ -97,4 +109,4 @@ def generate_problem(
         raise InvalidValue(f"unknown b_style {b_style!r}")
     x0 = grb.Vector.dense(n, 0.0)
     return Problem(grid=grid, A=A, A_diag=A_diag, b=b, x0=x0, exact=exact,
-                   b_style=b_style, stencil=stencil)
+                   b_style=b_style, stencil=stencil, substrate=substrate)

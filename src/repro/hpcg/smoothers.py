@@ -13,6 +13,13 @@ transcribing Listings 2 and 3:
 Colours are processed sequentially to honour inter-colour dependencies;
 within one colour everything is data-parallel (here: vectorised).
 
+The smoothers are *substrate-agnostic* by construction: they name only
+GraphBLAS operations, so whichever kernel provider the matrix's
+substrate selection picked (CSR, SELL-C-σ, dense-blocked — see
+:mod:`repro.graphblas.substrate`) executes the masked products, with
+bit-identical iterates.  The substrate equivalence suite pins each
+provider and asserts exactly that.
+
 A damped Jacobi smoother is provided for the smoother-choice ablation;
 it is *not* HPCG-legal (fails the symmetry requirement less strictly
 speaking — it is symmetric, but converges slower) and is benchmarked as

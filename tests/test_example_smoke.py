@@ -1,8 +1,10 @@
 """Smoke tests: the examples must keep running end-to-end.
 
-The distributed-scaling example is the shop window for ``repro.dist``;
-run it at a tiny problem size so a regression in any backend's public
-API surfaces as a test failure, not as a rotted script.
+The distributed-scaling example is the shop window for ``repro.dist``
+(run at a tiny problem size) and the GraphBLAS tour is the shop window
+for the substrate — it exercises the generic-semiring paths that must
+keep working as storage formats change underneath.  A regression in
+any public API surfaces as a test failure, not as a rotted script.
 """
 
 import os
@@ -13,8 +15,8 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 
 
-def _run_example(script: str, *args: str) -> str:
-    env = dict(os.environ)
+def _run_example(script: str, *args: str, env: dict = None) -> str:
+    env = {**os.environ, **(env or {})}
     src = str(REPO / "src")
     env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
     proc = subprocess.run(
@@ -23,6 +25,22 @@ def _run_example(script: str, *args: str) -> str:
     )
     assert proc.returncode == 0, proc.stderr
     return proc.stdout
+
+
+class TestGraphblasTourExample:
+    def test_runs_end_to_end(self):
+        out = _run_example("graphblas_tour.py")
+        # the script self-checks its BFS/SSSP answers with asserts; here
+        # assert the narration shape so silent truncation also fails
+        for token in ("BFS levels", "shortest-path distances",
+                      "different semiring"):
+            assert token in out
+
+    def test_runs_under_forced_substrate(self):
+        """The tour must be substrate-independent, like everything else."""
+        out = _run_example("graphblas_tour.py",
+                           env={"REPRO_SUBSTRATE": "sellcs"})
+        assert "different semiring" in out
 
 
 class TestDistributedScalingExample:
