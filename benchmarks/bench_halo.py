@@ -3,12 +3,24 @@
 These run the honest per-node versions (compressed local storage +
 explicit halo exchange) and assert bit-equality with shared memory —
 the halo-protocol soundness results of EXPERIMENTS.md.
+
+The ``bench_overlap_*`` benches quantify the split-phase engine: how
+much modelled RBGS wire time the async pipeline hides per backend, per
+machine preset and per MG level, while asserting residuals stay
+bit-identical to eager mode.
 """
 
 import numpy as np
 import pytest
 
-from repro.dist import Grid3DPartition
+from repro.dist import (
+    ARM_CLUSTER_NODE,
+    Grid3DPartition,
+    HybridALPRun,
+    RefDistRun,
+    X86_NODE,
+)
+from repro.dist.comm import CommTracker
 from repro.dist.halo import LocalRBGSExecutor, LocalSpmvExecutor
 from repro.hpcg.coloring import lattice_coloring
 from repro.ref.sgs import RefRBGS
@@ -52,3 +64,86 @@ def bench_local_rbgs_setup(benchmark, setup):
     problem, A, owners, colors, _r = setup
     ex = benchmark(LocalRBGSExecutor, A, owners, 4, colors)
     assert ex.ncolors == 8
+
+
+def bench_local_rbgs_sweep_overlap(benchmark, setup):
+    """The split-phase pipelined sweep: colour c's exchange posted
+    behind colour c+1's interior update — still bit-identical."""
+    problem, A, owners, colors, r = setup
+    tracker = CommTracker(4)
+    ex = LocalRBGSExecutor(A, owners, 4, colors, tracker=tracker,
+                           comm_mode="overlap")
+
+    def sweep():
+        tracker.reset()
+        z = np.zeros(problem.n)
+        ex.sweep(z, r)
+        return z
+
+    z = benchmark(sweep)
+    z_ref = np.zeros(problem.n)
+    RefRBGS(A, colors).forward(z_ref, r)
+    np.testing.assert_array_equal(z, z_ref)
+    # seven of the eight per-colour exchanges overlapped a successor
+    assert sum(1 for s in tracker.supersteps
+               if s.overlapped_work > 0) == ex.ncolors - 1
+
+
+def _rbgs_comm_seconds(res):
+    rows = res.exposed_comm_breakdown()
+    return (sum(r["full"] for r in rows),
+            sum(r["exposed"] for r in rows))
+
+
+def bench_overlap_rbgs_comm_win(benchmark, problem16):
+    """The headline number: modelled RBGS wire time hidden by the
+    split-phase engine on the Table-II machine presets."""
+
+    def run(machine, mode):
+        return RefDistRun(problem16, nprocs=4, mg_levels=3,
+                          machine=machine,
+                          comm_mode=mode).run_cg(max_iters=3)
+
+    benchmark(run, ARM_CLUSTER_NODE, "overlap")
+    strictly_lower = []
+    for machine in (X86_NODE, ARM_CLUSTER_NODE):
+        eager = run(machine, "eager")
+        over = run(machine, "overlap")
+        # the pipeline must not change the numerics...
+        np.testing.assert_array_equal(eager.residuals, over.residuals)
+        full_e, exposed_e = _rbgs_comm_seconds(eager)
+        full_o, exposed_o = _rbgs_comm_seconds(over)
+        assert exposed_e == pytest.approx(full_e)    # eager hides nothing
+        assert full_o == pytest.approx(full_e)       # same wire time...
+        strictly_lower.append(exposed_o < full_o)    # ...less exposed
+    # ...and strictly lower modelled RBGS comm on a Table-II preset
+    assert any(strictly_lower)
+
+
+def bench_overlap_per_level_breakdown(benchmark, problem16):
+    """Per-MG-level exposed vs hidden RBGS wire time (finer levels have
+    more interior rows, hence more hiding headroom)."""
+    res = benchmark(
+        lambda: RefDistRun(problem16, nprocs=4, mg_levels=3,
+                           comm_mode="overlap").run_cg(max_iters=2))
+    rows = res.exposed_comm_breakdown()
+    assert len(rows) == 3
+    assert all(r["exposed"] <= r["full"] for r in rows)
+    # the finest level genuinely hides wire time
+    assert rows[0]["hidden"] > 0.0
+
+
+def bench_overlap_backend_contrast(benchmark, problem16):
+    """Ref's surface halos overlap; ALP's opaque allgathers cannot —
+    the modelled contrast the paper's §VI predicts."""
+
+    def run():
+        ref = RefDistRun(problem16, nprocs=4, mg_levels=2,
+                         comm_mode="overlap").run_cg(max_iters=2)
+        alp = HybridALPRun(problem16, nprocs=4, mg_levels=2,
+                           comm_mode="overlap").run_cg(max_iters=2)
+        return ref, alp
+
+    ref, alp = benchmark(run)
+    assert ref.hidden_comm_seconds > 0.0
+    assert alp.hidden_comm_seconds == pytest.approx(0.0)

@@ -13,10 +13,30 @@ block distribution) on one machine: the numerics are executed exactly —
 residual histories are bit-identical to the serial driver — while every
 message is recorded by a :class:`~repro.dist.comm.CommTracker` and
 priced by the BSP cost model in :mod:`repro.dist.bsp`.
+
+Communication runs through a **split-phase engine**: exchanges are
+either eager supersteps (``compute + comm`` summed) or posted/waited
+asynchronous intervals that hide wire time behind tagged local compute
+(``comm_mode="overlap"``, or the ``REPRO_OVERLAP`` environment force).
+Both modes move identical bytes over identical supersteps and produce
+bit-identical residuals; only the BSP pricing differs, and both the
+full and the *exposed* (post-overlap) communication time are reported.
 """
 
-from repro.dist.bsp import ARM_CLUSTER_NODE, BSPMachine, X86_NODE
-from repro.dist.comm import CommTracker
+from repro.dist.bsp import (
+    ARM_CLUSTER_NODE,
+    BSPMachine,
+    X86_NODE,
+    bsp_time,
+    tracker_comm_time,
+    tracker_exposed_comm_time,
+)
+from repro.dist.comm import (
+    CommTracker,
+    InFlightExchange,
+    SuperstepStats,
+    resolve_comm_mode,
+)
 from repro.dist.halo import LocalRBGSExecutor, LocalSpmvExecutor
 from repro.dist.hybrid import HybridALPRun
 from repro.dist.hybrid2d import Hybrid2DRun
@@ -41,11 +61,17 @@ __all__ = [
     "Grid3DPartition",
     "Hybrid2DRun",
     "HybridALPRun",
+    "InFlightExchange",
     "LocalRBGSExecutor",
     "LocalSpmvExecutor",
     "RefDistRun",
+    "SuperstepStats",
     "X86_NODE",
     "bfs_partition",
+    "bsp_time",
     "factor3",
     "halo_for_owners",
+    "resolve_comm_mode",
+    "tracker_comm_time",
+    "tracker_exposed_comm_time",
 ]

@@ -10,6 +10,20 @@ bytes-per-second and seconds so they can be read straight off machine
 datasheets.  HPCG kernels are bandwidth-bound, so ``work`` is measured
 in bytes (not flops), matching :mod:`repro.perf.model`.
 
+Split-phase supersteps relax the sum: communication posted early can
+hide behind independent local compute.  A superstep that tags
+``overlap_bytes`` of its work as running while the exchange is in
+flight is priced
+
+    ``work / mem_bw + comm - eff * min(overlap_bytes / mem_bw, comm)``
+
+with ``comm = h / net_bw + latency`` and ``eff`` the machine's
+**overlap efficiency** (1.0 = perfect NIC/compute concurrency; 0.0
+degenerates to the eager sum).  When the whole work term overlaps
+(``overlap_bytes == work``, ``eff == 1``), the formula is exactly
+``max(work_time, comm_time)``.  The un-hidden remainder is the
+**exposed** communication time the figures report.
+
 The two presets mirror the paper's Table II nodes: the Kunpeng 920
 (ARM) node attains more memory bandwidth than the Xeon Gold (x86) node,
 while both sit on the same Mellanox 100 Gb/s fabric.
@@ -18,7 +32,7 @@ while both sit on the same Mellanox 100 Gb/s fabric.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence
 
 from repro.dist.comm import CommTracker, SuperstepStats
 from repro.util.errors import InvalidValue
@@ -30,13 +44,16 @@ class BSPMachine:
 
     ``mem_bandwidth`` and ``net_bandwidth`` are bytes/second;
     ``latency`` is the per-superstep synchronisation cost in seconds
-    (the BSP ``L``, charged even for communication-free supersteps).
+    (the BSP ``L``, charged even for communication-free supersteps);
+    ``overlap_efficiency`` is the fraction of in-flight wire time a
+    split-phase exchange can hide behind tagged local compute.
     """
 
     name: str
     mem_bandwidth: float
     net_bandwidth: float
     latency: float
+    overlap_efficiency: float = 1.0
 
     def __post_init__(self):
         if self.mem_bandwidth <= 0 or self.net_bandwidth <= 0:
@@ -46,13 +63,51 @@ class BSPMachine:
             )
         if self.latency < 0:
             raise InvalidValue(f"latency must be >= 0, got {self.latency}")
+        if not (0.0 <= self.overlap_efficiency <= 1.0):
+            raise InvalidValue(
+                f"overlap efficiency must lie in [0, 1], "
+                f"got {self.overlap_efficiency}"
+            )
 
-    def superstep_time(self, work_bytes: float, h_bytes: float) -> float:
-        """Seconds for one superstep: ``w + h*g + L``."""
+    def comm_time(self, h_bytes: float) -> float:
+        """Wire time of one superstep: ``h*g + L`` (no local work)."""
+        return h_bytes / self.net_bandwidth + self.latency
+
+    def hidden_comm_time(self, h_bytes: float, overlap_bytes: float = 0.0,
+                         overlap_efficiency: Optional[float] = None) -> float:
+        """Seconds of wire time hidden behind tagged overlapped compute."""
+        if overlap_bytes <= 0.0:
+            return 0.0
+        eff = (self.overlap_efficiency if overlap_efficiency is None
+               else overlap_efficiency)
+        if not (0.0 <= eff <= 1.0):
+            raise InvalidValue(
+                f"overlap efficiency must lie in [0, 1], got {eff}"
+            )
+        return eff * min(overlap_bytes / self.mem_bandwidth,
+                         self.comm_time(h_bytes))
+
+    def exposed_comm_time(self, h_bytes: float, overlap_bytes: float = 0.0,
+                          overlap_efficiency: Optional[float] = None) -> float:
+        """Wire time left on the critical path after overlap."""
+        return (self.comm_time(h_bytes)
+                - self.hidden_comm_time(h_bytes, overlap_bytes,
+                                        overlap_efficiency))
+
+    def superstep_time(self, work_bytes: float, h_bytes: float,
+                       overlap_bytes: float = 0.0,
+                       overlap_efficiency: Optional[float] = None) -> float:
+        """Seconds for one superstep.
+
+        Eager (``overlap_bytes == 0``): the classic ``w + h*g + L``.
+        Split-phase: the exchange hides behind ``overlap_bytes`` of the
+        local compute, leaving only the exposed wire time — at full
+        overlap this is ``max(work_time, comm_time)``.
+        """
         return (
             work_bytes / self.mem_bandwidth
-            + h_bytes / self.net_bandwidth
-            + self.latency
+            + self.exposed_comm_time(h_bytes, overlap_bytes,
+                                     overlap_efficiency)
         )
 
     def work_time(self, work_bytes: float) -> float:
@@ -79,15 +134,34 @@ def bsp_time(
     machine: BSPMachine,
     supersteps: Iterable[SuperstepStats],
     work_bytes: Sequence[float],
+    use_overlap: bool = True,
 ) -> float:
-    """Total time of a trace given per-superstep local work in bytes."""
+    """Total time of a trace given per-superstep local work in bytes.
+
+    Split-phase supersteps carry their own ``overlapped_work`` tags;
+    ``use_overlap=False`` prices the same trace eagerly (the comparison
+    baseline).
+    """
     return sum(
-        machine.superstep_time(work, step.h)
+        machine.superstep_time(
+            work, step.h,
+            step.overlapped_work if use_overlap else 0.0,
+        )
         for step, work in zip(supersteps, work_bytes)
     )
 
 
 def tracker_comm_time(machine: BSPMachine, tracker: CommTracker) -> float:
-    """Pure communication time of a trace (work priced at zero)."""
-    return bsp_time(machine, tracker.supersteps,
-                    [0.0] * len(tracker.supersteps))
+    """Pure communication time of a trace (work priced at zero, nothing
+    hidden) — the eager wire-time baseline."""
+    return sum(machine.comm_time(s.h) for s in tracker.supersteps)
+
+
+def tracker_exposed_comm_time(machine: BSPMachine,
+                              tracker: CommTracker) -> float:
+    """Wire time left on the critical path after each split-phase
+    superstep hides what its overlap tags allow."""
+    return sum(
+        machine.exposed_comm_time(s.h, s.overlapped_work)
+        for s in tracker.supersteps
+    )

@@ -15,16 +15,65 @@ follows BSP conventions:
 Labels attach semantics to the trace: sends and syncs can be tagged
 (``"spmv"``, ``"rbgs_mxv"``, ``"halo"``, ...) so experiments can ask
 "how many supersteps did the smoother cost" without re-running.
+
+Split-phase supersteps
+----------------------
+
+Real halo exchanges are posted asynchronously and waited on after some
+independent local work (``MPI_Isend``/``MPI_Wait``).  The tracker
+models that with :meth:`post` / :meth:`wait`: ``post`` turns the sends
+recorded so far into an in-flight :class:`InFlightExchange`, local
+compute performed while it is outstanding is tagged onto the handle
+with :meth:`InFlightExchange.overlap`, and ``wait`` closes it into a
+:class:`SuperstepStats` whose ``overlapped_work`` the BSP model can
+hide behind the wire time.  ``sync`` remains the eager path and is
+exactly ``wait(post())`` with nothing overlapped.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.util.errors import InvalidValue
+
+#: Recognised communication modes for executors and simulated runs.
+COMM_MODES = ("eager", "overlap")
+
+#: Environment variable forcing a communication mode globally
+#: (mirrors ``REPRO_SUBSTRATE``): truthy values select split-phase
+#: overlapped exchanges everywhere a mode is not pinned explicitly.
+OVERLAP_ENV = "REPRO_OVERLAP"
+
+_TRUTHY = ("1", "true", "on", "yes", "overlap")
+_FALSY = ("", "0", "false", "off", "no", "eager")
+
+
+def resolve_comm_mode(mode: Optional[str] = None) -> str:
+    """Resolve an explicit mode, the ``REPRO_OVERLAP`` force, or eager.
+
+    Precedence mirrors the substrate registry: an explicit ``mode``
+    wins, otherwise the environment force applies, otherwise the
+    default-compatible ``"eager"``.
+    """
+    if mode is not None:
+        if mode not in COMM_MODES:
+            raise InvalidValue(
+                f"unknown comm mode {mode!r}, expected one of {COMM_MODES}"
+            )
+        return mode
+    raw = os.environ.get(OVERLAP_ENV, "").strip().lower()
+    if raw in _TRUTHY:
+        return "overlap"
+    if raw in _FALSY:
+        return "eager"
+    raise InvalidValue(
+        f"unrecognised {OVERLAP_ENV}={raw!r}: use 1/0, on/off, "
+        f"overlap/eager"
+    )
 
 
 @dataclass
@@ -36,6 +85,13 @@ class SuperstepStats:
     received: np.ndarray       # bytes received per node
     messages: int              # point-to-point messages (self/empty elided)
     label: Optional[str] = None
+    #: Local-compute bytes tagged as running while this exchange was in
+    #: flight (only split-phase supersteps carry a nonzero value); the
+    #: BSP model may hide wire time behind them.
+    overlapped_work: float = 0.0
+    #: True when the superstep was closed by ``post``/``wait`` rather
+    #: than an eager ``sync``.
+    posted: bool = False
 
     @property
     def total_bytes(self) -> int:
@@ -49,8 +105,41 @@ class SuperstepStats:
         return int(max(self.sent.max(), self.received.max()))
 
 
+@dataclass
+class InFlightExchange:
+    """A posted, not-yet-waited exchange (the ``MPI_Request`` analogue)."""
+
+    sent: np.ndarray
+    received: np.ndarray
+    messages: int
+    label: Optional[str] = None
+    overlapped_work: float = 0.0
+    closed: bool = field(default=False, repr=False)
+
+    def overlap(self, work_bytes: float) -> "InFlightExchange":
+        """Tag ``work_bytes`` of local compute as overlapping this
+        exchange's flight time (accumulates across calls)."""
+        if work_bytes < 0:
+            raise InvalidValue(f"negative overlapped work: {work_bytes}")
+        if self.closed:
+            raise InvalidValue("cannot overlap work on a waited exchange")
+        self.overlapped_work += float(work_bytes)
+        return self
+
+    @property
+    def h(self) -> int:
+        if self.sent.size == 0:
+            return 0
+        return int(max(self.sent.max(), self.received.max()))
+
+
 class CommTracker:
-    """Records sends and supersteps for ``nprocs`` simulated nodes."""
+    """Records sends and supersteps for ``nprocs`` simulated nodes.
+
+    Supports use as a context manager — ``with CommTracker(p) as t:`` —
+    which verifies on exit that no posted exchange was left un-waited
+    (a leaked ``wait`` is a deadlock in a real runtime).
+    """
 
     def __init__(self, nprocs: int):
         if nprocs < 1:
@@ -59,12 +148,33 @@ class CommTracker:
         self.supersteps: List[SuperstepStats] = []
         self.label_bytes: Dict[str, int] = {}
         self.label_syncs: Dict[str, int] = {}
+        self._in_flight: List[InFlightExchange] = []
         self._reset_pending()
 
     def _reset_pending(self) -> None:
         self._sent = np.zeros(self.nprocs, dtype=np.int64)
         self._received = np.zeros(self.nprocs, dtype=np.int64)
         self._messages = 0
+
+    def reset(self) -> None:
+        """Forget everything: supersteps, labels, pending sends and
+        in-flight exchanges — the tracker is as freshly constructed."""
+        self.supersteps = []
+        self.label_bytes = {}
+        self.label_syncs = {}
+        self._in_flight = []
+        self._reset_pending()
+
+    # --- context manager ----------------------------------------------------
+    def __enter__(self) -> "CommTracker":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is None and self._in_flight:
+            raise InvalidValue(
+                f"{len(self._in_flight)} posted exchange(s) never waited on"
+            )
+        return False
 
     # --- point-to-point -----------------------------------------------------
     def send(self, src: int, dst: int, nbytes: int,
@@ -116,7 +226,65 @@ class CommTracker:
             for dst in range(self.nprocs):
                 self.send(src, dst, nbytes, label=label)
 
-    # --- supersteps ---------------------------------------------------------
+    # --- split-phase supersteps ---------------------------------------------
+    def post(self, label: Optional[str] = None) -> InFlightExchange:
+        """Turn the sends recorded so far into an in-flight exchange.
+
+        Sends recorded afterwards belong to the *next* exchange (or the
+        next eager superstep).  The exchange stays open — accumulating
+        overlapped-work tags — until :meth:`wait` closes it.
+        """
+        handle = InFlightExchange(
+            sent=self._sent,
+            received=self._received,
+            messages=self._messages,
+            label=label,
+        )
+        self._in_flight.append(handle)
+        self._reset_pending()
+        return handle
+
+    def wait(self, handle: Optional[InFlightExchange] = None,
+             label: Optional[str] = None) -> SuperstepStats:
+        """Close a posted exchange into a superstep (FIFO by default).
+
+        The barrier semantics are unchanged — one ``wait`` is one
+        superstep boundary — but the returned stats carry the work
+        tagged onto the handle while it was in flight, which the BSP
+        model may hide behind the wire time.
+        """
+        if handle is None:
+            if not self._in_flight:
+                raise InvalidValue("wait() with no posted exchange")
+            handle = self._in_flight[0]
+        if handle.closed:
+            raise InvalidValue("exchange already waited on")
+        try:
+            self._in_flight.remove(handle)
+        except ValueError:
+            raise InvalidValue("handle does not belong to this tracker")
+        handle.closed = True
+        label = label if label is not None else handle.label
+        stats = SuperstepStats(
+            index=len(self.supersteps),
+            sent=handle.sent,
+            received=handle.received,
+            messages=handle.messages,
+            label=label,
+            overlapped_work=handle.overlapped_work,
+            posted=True,
+        )
+        self.supersteps.append(stats)
+        if label is not None:
+            self.label_syncs[label] = self.label_syncs.get(label, 0) + 1
+        return stats
+
+    @property
+    def in_flight(self) -> int:
+        """Number of posted exchanges not yet waited on."""
+        return len(self._in_flight)
+
+    # --- eager supersteps ---------------------------------------------------
     def sync(self, label: Optional[str] = None) -> SuperstepStats:
         """Close the current superstep and return its statistics."""
         stats = SuperstepStats(
@@ -144,6 +312,11 @@ class CommTracker:
     @property
     def total_h(self) -> int:
         return sum(s.h for s in self.supersteps)
+
+    @property
+    def total_overlapped_work(self) -> float:
+        """Bytes of local compute tagged as overlapping some exchange."""
+        return sum(s.overlapped_work for s in self.supersteps)
 
     def max_send_per_node(self) -> int:
         """The largest per-node send volume of any single superstep."""

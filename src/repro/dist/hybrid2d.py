@@ -13,11 +13,18 @@ Per-node traffic drops from ``n (p-1)/p`` to ``n/√p (√p - 1)`` values —
 a constant-factor saving that remains Θ(n): the paper's observation
 that solution ii "only partially alleviates the communication
 bottleneck", bought at twice the barrier count.
+
+The two supersteps route through the split-phase engine but tag no
+overlappable work: an off-diagonal process owns *nothing* of the input
+block it waits for, so the broadcast cannot hide behind local compute,
+and the row reduction needs the partial outputs finished before it can
+post — another face of the opaque-container limitation.
 """
 
 from __future__ import annotations
 
 import math
+from typing import Optional
 
 import numpy as np
 
@@ -40,7 +47,10 @@ class Hybrid2DRun(SimulatedDistRun):
     backend = "alp-2d"
 
     def __init__(self, problem: Problem, nprocs: int, mg_levels: int = 4,
-                 machine: BSPMachine = ARM_CLUSTER_NODE):
+                 machine: BSPMachine = ARM_CLUSTER_NODE,
+                 comm_mode: Optional[str] = None,
+                 overlap_efficiency: Optional[float] = None,
+                 agglomerate_below: int = 0):
         q = int(round(math.sqrt(nprocs)))
         if q * q != nprocs:
             raise InvalidValue(
@@ -48,7 +58,10 @@ class Hybrid2DRun(SimulatedDistRun):
                 f"got {nprocs}"
             )
         self.q = q
-        super().__init__(problem, nprocs, mg_levels, machine)
+        super().__init__(problem, nprocs, mg_levels, machine,
+                         comm_mode=comm_mode,
+                         overlap_efficiency=overlap_efficiency,
+                         agglomerate_below=agglomerate_below)
 
     def _rank(self, i: int, j: int) -> int:
         return i * self.q + j
@@ -77,22 +90,22 @@ class Hybrid2DRun(SimulatedDistRun):
                        sync_label: str, timer_key: str,
                        work_bytes: float) -> None:
         q = self.q
-        # phase 1: column broadcast of the input blocks
+        # phase 1: column broadcast of the input blocks — nothing to
+        # overlap: the receivers own no part of the block they await
         for j in range(q):
             for i in range(q):
                 if i != j:
                     self.tracker.send(self._rank(j, j), self._rank(i, j),
                                       int(in_bytes[j]), label=sync_label)
-        stats1 = self.tracker.sync(label=sync_label)
-        self._tick_superstep(timer_key, 0.0, stats1.h)
-        # phase 2: row reduction of the partial outputs
+        self._close_superstep(sync_label, timer_key, 0.0)
+        # phase 2: row reduction of the partial outputs — posted only
+        # after the partials exist, so it too stays exposed
         for i in range(q):
             for j in range(q):
                 if j != i:
                     self.tracker.send(self._rank(i, j), self._rank(i, i),
                                       int(out_bytes[i]), label=sync_label)
-        stats2 = self.tracker.sync(label=sync_label)
-        self._tick_superstep(timer_key, work_bytes, stats2.h)
+        self._close_superstep(sync_label, timer_key, work_bytes)
 
     # --- communication hooks -------------------------------------------------
     def _spmv_comm(self, level: SimLevel, sync_label: str,
@@ -101,7 +114,8 @@ class Hybrid2DRun(SimulatedDistRun):
         self._two_phase_mxv(level.block_bytes, level.block_bytes,
                             label, timer_key, level.block_work)
 
-    def _rbgs_comm(self, level: SimLevel, color: int) -> None:
+    def _rbgs_comm(self, level: SimLevel, color: int,
+                   next_color: Optional[int] = None) -> None:
         self._two_phase_mxv(
             level.block_bytes, level.color_block_bytes[color],
             "rbgs2d", f"mg/L{level.index}/rbgs",

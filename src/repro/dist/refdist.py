@@ -7,16 +7,42 @@ one colour's halo slice per colour step, and restriction/refinement are
 purely node-local index copies (the coarse box of a node nests inside
 its fine box).  This is the backend that weak-scales in Figure 3 and
 the Ref column of Table I.
+
+Two owner sources are supported (``partition=``):
+
+* ``"grid3d"`` (default) — the geometric boxes above;
+* ``"bfs"`` — the paper's §VII-B *solution iv*: a black-box partition
+  grown by breadth-first traversal of the sparsity pattern, which
+  recovers most of the geometric locality without any geometry
+  knowledge.  Its boxes do not nest across MG levels, so restriction/
+  refinement ship the (few) injection points whose coarse owner differs
+  from the fine owner — priced as real supersteps.
+
+In ``comm_mode="overlap"`` the halo exchanges run split-phase: a posted
+SpMV halo hides behind the node's *interior* rows (rows referencing no
+remote point), and colour ``c``'s exchange hides behind colour
+``c+1``'s interior update — the paper's async pipeline, priced by the
+BSP overlap model.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.dist.bsp import ARM_CLUSTER_NODE, BSPMachine
-from repro.dist.partition import Grid3DPartition, factor3
+from repro.dist.cost import (
+    interior_row_mask,
+    per_node_interior_color_work,
+    per_node_interior_work,
+)
+from repro.dist.partition import (
+    Grid3DPartition,
+    bfs_partition,
+    factor3,
+    halo_for_owners,
+)
 from repro.dist.simulate import (
     SimLevel,
     SimulatedDistRun,
@@ -27,6 +53,10 @@ from repro.dist.simulate import (
     per_node_rows_and_nnz,
 )
 from repro.hpcg.problem import Problem
+from repro.util.errors import InvalidValue
+
+#: Owner sources accepted by :class:`RefDistRun`.
+PARTITIONS = ("grid3d", "bfs")
 
 
 class RefDistRun(SimulatedDistRun):
@@ -36,16 +66,35 @@ class RefDistRun(SimulatedDistRun):
 
     def __init__(self, problem: Problem, nprocs: int, mg_levels: int = 4,
                  machine: BSPMachine = ARM_CLUSTER_NODE,
-                 process_grid: Optional[Tuple[int, int, int]] = None):
+                 process_grid: Optional[Tuple[int, int, int]] = None,
+                 partition: str = "grid3d",
+                 comm_mode: Optional[str] = None,
+                 overlap_efficiency: Optional[float] = None,
+                 agglomerate_below: int = 0):
+        if partition not in PARTITIONS:
+            raise InvalidValue(
+                f"unknown partition {partition!r}, "
+                f"expected one of {PARTITIONS}"
+            )
+        self._partition_kind = partition
         self._process_grid = process_grid if process_grid else factor3(nprocs)
-        super().__init__(problem, nprocs, mg_levels, machine)
+        super().__init__(problem, nprocs, mg_levels, machine,
+                         comm_mode=comm_mode,
+                         overlap_efficiency=overlap_efficiency,
+                         agglomerate_below=agglomerate_below)
 
     def _init_level_comm(self, level: SimLevel) -> None:
         p = self.nprocs
-        part = Grid3DPartition(level.grid, p, shape=self._process_grid)
-        level.partition = part
-        owners = part.owner(np.arange(level.n, dtype=np.int64))
-        halos = part.halo_exchanges(level.A.indptr, level.A.indices)
+        if self._partition_kind == "grid3d":
+            part = Grid3DPartition(level.grid, p, shape=self._process_grid)
+            level.partition = part
+            owners = part.owner(np.arange(level.n, dtype=np.int64))
+        else:
+            level.partition = None
+            owners = bfs_partition(level.A.indptr, level.A.indices,
+                                   level.n, p)
+        level.owners = owners
+        halos = halo_for_owners(level.A.indptr, level.A.indices, owners, p)
         level.spmv_halo = {pair: int(idxs.size) * 8
                            for pair, idxs in halos.items()}
         # the colour classes partition every halo point
@@ -63,31 +112,86 @@ class RefDistRun(SimulatedDistRun):
         level.color_work = per_node_color_work(
             level.A, owners, level.colors, p, level.ncolors
         )
+        # interior shares: the overlap candidates of split-phase mode
+        interior = interior_row_mask(level.A, owners)
+        level.interior_spmv_work, _ = per_node_interior_work(
+            level.A, owners, p, interior=interior)
+        level.interior_color_work = per_node_interior_color_work(
+            level.A, owners, level.colors, p, level.ncolors,
+            interior=interior,
+        )
+        # lazily built cross-node injection traffic (bfs owners only)
+        level.restrict_halo = None
 
     # --- communication hooks -------------------------------------------------
     def _halo_exchange(self, halo, sync_label: str, timer_key: str,
-                       work_bytes: float) -> None:
+                       work_bytes: float, overlap_bytes: float = 0.0) -> None:
         for (src, dst), nbytes in halo.items():
             self.tracker.send(src, dst, nbytes, label=sync_label)
-        stats = self.tracker.sync(label=sync_label)
-        self._tick_superstep(timer_key, work_bytes, stats.h)
+        self._close_superstep(sync_label, timer_key, work_bytes,
+                              overlap_bytes)
 
     def _spmv_comm(self, level: SimLevel, sync_label: str,
                    timer_key: str) -> None:
+        # split-phase: the posted halo hides behind the interior rows
         self._halo_exchange(level.spmv_halo, sync_label, timer_key,
-                            float(level.spmv_work[0].max()))
+                            float(level.spmv_work[0].max()),
+                            overlap_bytes=level.interior_spmv_work)
 
-    def _rbgs_comm(self, level: SimLevel, color: int) -> None:
+    def _rbgs_comm(self, level: SimLevel, color: int,
+                   next_color: Optional[int] = None) -> None:
+        # colour c's exchange pipelines behind colour c+1's interior
+        # update; the last colour of a half-sweep has nothing to hide
+        # behind and stays exposed
+        overlap = (float(level.interior_color_work[next_color])
+                   if next_color is not None else 0.0)
         self._halo_exchange(level.color_halo[color], "rbgs_halo",
                             f"mg/L{level.index}/rbgs",
-                            float(level.color_work[color]))
+                            float(level.color_work[color]),
+                            overlap_bytes=overlap)
+
+    # --- restriction / refinement --------------------------------------------
+    def _injection_halo(self, fine: SimLevel,
+                        coarse: SimLevel) -> Dict[Tuple[int, int], int]:
+        """Per-(src, dst) bytes of injection points crossing nodes.
+
+        Empty for the geometric partition (nested boxes); small but
+        nonzero for BFS owners, whose levels are partitioned
+        independently.
+        """
+        if fine.restrict_halo is None:
+            src = fine.owners[fine.injection]
+            dst = coarse.owners
+            cross = src != dst
+            halo: Dict[Tuple[int, int], int] = {}
+            if cross.any():
+                pair = src[cross] * self.nprocs + dst[cross]
+                counts = np.bincount(pair)
+                for key in np.flatnonzero(counts):
+                    halo[(int(key) // self.nprocs,
+                          int(key) % self.nprocs)] = int(counts[key]) * 8
+            fine.restrict_halo = halo
+        return fine.restrict_halo
 
     def _restrict_comm(self, fine: SimLevel, coarse: SimLevel) -> None:
-        # injection source (2x, 2y, 2z) lies in the same node's box:
-        # a local index copy, no messages, no barrier (paper §IV)
-        self._tick_local(f"mg/L{fine.index}/restrict",
-                         _RESTRICT_COPY_BYTES * self._vector_share(coarse.n))
+        halo = self._injection_halo(fine, coarse)
+        work = _RESTRICT_COPY_BYTES * self._vector_share(coarse.n)
+        if not halo:
+            # injection source (2x, 2y, 2z) lies in the same node's box:
+            # a local index copy, no messages, no barrier (paper §IV)
+            self._tick_local(f"mg/L{fine.index}/restrict", work)
+        else:
+            self._halo_exchange(halo, "restrict",
+                                f"mg/L{fine.index}/restrict", work)
 
     def _prolong_comm(self, fine: SimLevel, coarse: SimLevel) -> None:
-        self._tick_local(f"mg/L{fine.index}/prolong",
-                         _RESTRICT_COPY_BYTES * self._vector_share(coarse.n))
+        halo = self._injection_halo(fine, coarse)
+        work = _RESTRICT_COPY_BYTES * self._vector_share(coarse.n)
+        if not halo:
+            self._tick_local(f"mg/L{fine.index}/prolong", work)
+        else:
+            # the correction travels the opposite way
+            reverse = {(dst, src): nbytes
+                       for (src, dst), nbytes in halo.items()}
+            self._halo_exchange(reverse, "refine",
+                                f"mg/L{fine.index}/prolong", work)

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.dist.comm import CommTracker
 from repro.util.timer import TimerRegistry
@@ -17,6 +17,12 @@ class DistRunResult:
     holds its per-kernel decomposition under the same ``mg/L{i}/...`` /
     ``cg/...`` labels the serial driver uses, so the Figure 4-7
     breakdown code consumes either interchangeably.
+
+    ``comm_seconds`` is the full wire time of the trace (every
+    superstep's ``h*g + L``); ``exposed_comm_seconds`` is what remains
+    on the critical path after split-phase supersteps hide wire time
+    behind overlapped local compute.  Under ``comm_mode="eager"`` the
+    two are equal; their gap is the modelled win of the async engine.
     """
 
     backend: str
@@ -28,6 +34,13 @@ class DistRunResult:
     timers: TimerRegistry
     tracker: CommTracker
     mg_levels: int
+    comm_mode: str = "eager"
+    comm_seconds: float = 0.0
+    exposed_comm_seconds: float = 0.0
+    #: wire-time decomposition under ``full/<key>`` / ``exposed/<key>``
+    #: labels — kept apart from ``timers`` so kernel-share reports
+    #: still sum to ``modelled_seconds``
+    comm_timers: Optional[TimerRegistry] = None
 
     @property
     def final_residual(self) -> float:
@@ -40,6 +53,11 @@ class DistRunResult:
     @property
     def syncs(self) -> int:
         return self.tracker.num_syncs
+
+    @property
+    def hidden_comm_seconds(self) -> float:
+        """Wire time hidden behind overlapped compute (0 when eager)."""
+        return self.comm_seconds - self.exposed_comm_seconds
 
     def mg_level_breakdown(self) -> List[Dict[str, float]]:
         """Per-MG-level shares of modelled time (the Fig. 6/7 quantity)."""
@@ -56,11 +74,33 @@ class DistRunResult:
             })
         return rows
 
+    def exposed_comm_breakdown(self) -> List[Dict[str, float]]:
+        """Per-MG-level full vs exposed RBGS wire time (seconds).
+
+        The quantity ``bench_halo`` reports: how much of each level's
+        smoother communication the split-phase engine hides.
+        """
+        timers = self.comm_timers or TimerRegistry()
+        rows = []
+        for i in range(self.mg_levels):
+            full = timers.total(f"full/mg/L{i}/rbgs")
+            exposed = timers.total(f"exposed/mg/L{i}/rbgs")
+            rows.append({
+                "level": i,
+                "full": full,
+                "exposed": exposed,
+                "hidden": full - exposed,
+            })
+        return rows
+
     def summary(self) -> str:
         final = self.final_residual
         return (
             f"{self.backend}: p={self.nprocs}, n={self.n}, "
             f"{self.iterations} iterations, final residual {final:.3e}, "
             f"modelled {self.modelled_seconds:.6f}s, "
-            f"comm {self.comm_bytes / 1e6:.3f} MB over {self.syncs} supersteps"
+            f"comm {self.comm_bytes / 1e6:.3f} MB over {self.syncs} "
+            f"supersteps [{self.comm_mode}: "
+            f"{self.exposed_comm_seconds:.6f}s exposed of "
+            f"{self.comm_seconds:.6f}s wire time]"
         )

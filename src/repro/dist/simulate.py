@@ -15,32 +15,68 @@ the BSP machine.
 This separation is the point of the simulation: convergence is provably
 unchanged by the distribution (the paper's Section V precondition), so
 backends compete purely on the communication they induce.
+
+Communication modes
+-------------------
+
+Every run executes in one of two modes (explicit ``comm_mode=``
+argument, else the ``REPRO_OVERLAP`` environment force, else eager):
+
+* ``"eager"`` — each exchange is a synchronous superstep priced
+  ``work + comm`` (the original BSP sum);
+* ``"overlap"`` — exchanges are *posted* (split-phase): the backend
+  tags the local compute that can proceed while the exchange is in
+  flight (interior rows, the next colour's interior update, ...) and
+  the BSP model hides wire time behind it, up to the machine's
+  ``overlap_efficiency``.
+
+The mode changes **pricing only** — sends, supersteps and numerics are
+identical, so residual histories are bit-for-bit equal across modes.
+Both the full (eager-equivalent) and the exposed (post-overlap) wire
+time are accumulated, per timer key under ``comm/full/...`` /
+``comm/exposed/...`` and in total on the result, so experiments can
+report how much latency the split-phase engine hides.
+
+Coarse-grid agglomeration
+-------------------------
+
+``agglomerate_below=n`` gathers every MG level with at most ``n`` rows
+onto node 0 (never the finest level): its smoother and residual mxv
+become single-node local work — no supersteps, no latency — at the cost
+of one gather superstep entering the level, one scatter leaving it, and
+the loss of ``p``-way parallelism on the agglomerated work.  The
+tradeoff is priced through the same engine, so ``bsp_time`` shows
+whether dodging the tiny-superstep latencies pays.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from typing import List, Optional
 
 import numpy as np
 import scipy.sparse as sp
 
 from repro.dist.bsp import ARM_CLUSTER_NODE, BSPMachine
-from repro.dist.comm import CommTracker
+from repro.dist.comm import CommTracker, resolve_comm_mode
+from repro.dist.cost import (
+    _DOT_BYTES,
+    _MXV_NNZ_BYTES,
+    _MXV_ROW_BYTES,
+    _RESTRICT_COPY_BYTES,
+    _RESTRICT_MXV_BYTES,
+    _WAXPBY_BYTES,
+    mxv_bytes,
+    per_node_color_work,
+    per_node_rows_and_nnz,
+)
+from repro.dist.partition import Block1D
 from repro.dist.result import DistRunResult
 from repro.grid import Grid3D, stencil_coo
 from repro.hpcg.coloring import lattice_coloring
 from repro.hpcg.problem import Problem
 from repro.util.errors import InvalidValue
 from repro.util.timer import TimerRegistry
-
-# bytes-per-element cost coefficients, matching the accounting of
-# repro.graphblas.backend.record and repro.perf.model.ref_stream_from_alp
-_MXV_NNZ_BYTES = 16.0
-_MXV_ROW_BYTES = 16.0
-_DOT_BYTES = 16.0
-_WAXPBY_BYTES = 24.0
-_RESTRICT_MXV_BYTES = 28.0    # ALP: materialised injection matrix mxv
-_RESTRICT_COPY_BYTES = 16.0   # Ref: raw index copy
 
 
 class SimLevel:
@@ -60,6 +96,10 @@ class SimLevel:
         self.color_blocks = [A[rows, :] for rows in self.color_rows]
         # set by the hierarchy builder when a coarser level exists
         self.injection: Optional[np.ndarray] = None
+        # set when the level is gathered onto one node (agglomeration)
+        self.agglomerated = False
+        self.agg_spmv_work = 0.0
+        self.agg_color_work: List[float] = []
 
 
 class SimulatedDistRun:
@@ -68,7 +108,10 @@ class SimulatedDistRun:
     backend = "dist"
 
     def __init__(self, problem: Problem, nprocs: int, mg_levels: int = 4,
-                 machine: BSPMachine = ARM_CLUSTER_NODE):
+                 machine: BSPMachine = ARM_CLUSTER_NODE,
+                 comm_mode: Optional[str] = None,
+                 overlap_efficiency: Optional[float] = None,
+                 agglomerate_below: int = 0):
         if nprocs < 1:
             raise InvalidValue(f"need at least one process, got {nprocs}")
         if mg_levels < 1:
@@ -79,10 +122,27 @@ class SimulatedDistRun:
                 f"{problem.grid.max_mg_levels()} MG levels, "
                 f"requested {mg_levels}"
             )
+        if agglomerate_below < 0:
+            raise InvalidValue(
+                f"agglomeration threshold must be >= 0, "
+                f"got {agglomerate_below}"
+            )
         self.problem = problem
         self.nprocs = nprocs
         self.mg_levels = mg_levels
+        # an overlap_efficiency override is folded into the machine
+        # itself (dataclass validation included), so every pricing
+        # helper that takes ``run.machine`` — bsp_time,
+        # tracker_exposed_comm_time, perf.model.overlap_savings —
+        # agrees with the run's own numbers
+        if overlap_efficiency is not None:
+            machine = dataclasses.replace(
+                machine, overlap_efficiency=overlap_efficiency)
         self.machine = machine
+        self.comm_mode = resolve_comm_mode(comm_mode)
+        self.overlap = self.comm_mode == "overlap"
+        self.overlap_efficiency = machine.overlap_efficiency
+        self.agglomerate_below = agglomerate_below
         self.n = problem.n
         stencil = getattr(problem, "stencil", "27pt")
         self.levels: List[SimLevel] = []
@@ -99,11 +159,26 @@ class SimulatedDistRun:
                                   shape=(grid.npoints, grid.npoints))
                 A.sort_indices()
         for level in self.levels:
-            self._init_level_comm(level)
+            # agglomeration: gather small coarse levels onto node 0
+            # (never the finest level, which CG itself runs on)
+            if (agglomerate_below and level.index > 0
+                    and level.n <= agglomerate_below):
+                level.agglomerated = True
+                level.agg_spmv_work = mxv_bytes(level.A.nnz, level.n)
+                level.agg_color_work = [
+                    mxv_bytes(block.nnz, rows.size)
+                    for block, rows in zip(level.color_blocks,
+                                           level.color_rows)
+                ]
+            else:
+                self._init_level_comm(level)
         # populated by run_cg
         self.tracker: Optional[CommTracker] = None
         self.timers: Optional[TimerRegistry] = None
+        self.comm_timers: Optional[TimerRegistry] = None
         self._seconds = 0.0
+        self._comm_seconds = 0.0
+        self._exposed_comm_seconds = 0.0
 
     # --- backend hooks -------------------------------------------------------
     def _init_level_comm(self, level: SimLevel) -> None:
@@ -115,8 +190,14 @@ class SimulatedDistRun:
         """Record the communication of one full operator mxv."""
         raise NotImplementedError
 
-    def _rbgs_comm(self, level: SimLevel, color: int) -> None:
-        """Record the communication of one colour's masked mxv."""
+    def _rbgs_comm(self, level: SimLevel, color: int,
+                   next_color: Optional[int] = None) -> None:
+        """Record the communication of one colour's masked mxv.
+
+        ``next_color`` is the colour the sweep updates next (``None``
+        at the end of a half-sweep): in overlap mode its interior work
+        is what a split-phase backend hides the exchange behind.
+        """
         raise NotImplementedError
 
     def _restrict_comm(self, fine: SimLevel, coarse: SimLevel) -> None:
@@ -125,13 +206,44 @@ class SimulatedDistRun:
     def _prolong_comm(self, fine: SimLevel, coarse: SimLevel) -> None:
         raise NotImplementedError
 
+    # --- the split-phase superstep engine ------------------------------------
+    def _close_superstep(self, sync_label: str, timer_key: str,
+                         work_bytes: float,
+                         overlap_bytes: float = 0.0) -> None:
+        """Close the sends recorded on the tracker into one superstep
+        and price it.
+
+        Eager mode synchronises (``work + comm``); overlap mode posts
+        and waits the same sends as a split-phase exchange, hiding wire
+        time behind ``overlap_bytes`` of tagged local compute.
+        """
+        if self.overlap:
+            handle = self.tracker.post(label=sync_label)
+            if overlap_bytes:
+                handle.overlap(overlap_bytes)
+            stats = self.tracker.wait(handle)
+        else:
+            stats = self.tracker.sync(label=sync_label)
+            overlap_bytes = 0.0
+        self._tick_superstep(timer_key, work_bytes, stats.h, overlap_bytes)
+
     # --- pricing helpers -----------------------------------------------------
     def _tick(self, key: str, seconds: float) -> None:
         self.timers.tick(key, seconds)
         self._seconds += seconds
 
-    def _tick_superstep(self, key: str, work_bytes: float, h: int) -> None:
-        self._tick(key, self.machine.superstep_time(work_bytes, h))
+    def _tick_superstep(self, key: str, work_bytes: float, h: int,
+                        overlap_bytes: float = 0.0) -> None:
+        self._tick(key, self.machine.superstep_time(
+            work_bytes, h, overlap_bytes))
+        # wire-time accounting lives in its own registry so the main
+        # timers' report() shares still sum to modelled_seconds
+        full = self.machine.comm_time(h)
+        exposed = self.machine.exposed_comm_time(h, overlap_bytes)
+        self._comm_seconds += full
+        self._exposed_comm_seconds += exposed
+        self.comm_timers.tick(f"full/{key}", full)
+        self.comm_timers.tick(f"exposed/{key}", exposed)
 
     def _tick_local(self, key: str, work_bytes: float) -> None:
         self._tick(key, self.machine.work_time(work_bytes))
@@ -149,6 +261,33 @@ class SimulatedDistRun:
     def _waxpby_cost(self, n: int) -> None:
         self._tick_local("cg/waxpby", _WAXPBY_BYTES * self._vector_share(n))
 
+    # --- agglomerated-level pricing ------------------------------------------
+    def _agg_share_bytes(self, k: int, n: int) -> int:
+        """Node ``k``'s share of an ``n``-vector during gather/scatter."""
+        return Block1D(n, self.nprocs).local_size(k) * 8
+
+    def _agg_gather(self, fine: SimLevel, coarse: SimLevel) -> None:
+        """Restriction into an agglomerated level: ship every node's
+        share of the coarse residual to node 0 (one superstep)."""
+        for k in range(1, self.nprocs):
+            self.tracker.send(k, 0, self._agg_share_bytes(k, coarse.n),
+                              label="agg_gather")
+        self._close_superstep(
+            "agg_gather", f"mg/L{fine.index}/restrict",
+            _RESTRICT_COPY_BYTES * self._vector_share(coarse.n),
+        )
+
+    def _agg_scatter(self, fine: SimLevel, coarse: SimLevel) -> None:
+        """Prolongation out of an agglomerated level: node 0 returns
+        each node its share of the coarse correction (one superstep)."""
+        for k in range(1, self.nprocs):
+            self.tracker.send(0, k, self._agg_share_bytes(k, coarse.n),
+                              label="agg_scatter")
+        self._close_superstep(
+            "agg_scatter", f"mg/L{fine.index}/prolong",
+            _RESTRICT_COPY_BYTES * self._vector_share(coarse.n),
+        )
+
     # --- exact numerics ------------------------------------------------------
     def _dot(self, u: np.ndarray, v: np.ndarray) -> float:
         value = float(np.dot(u, v))
@@ -160,7 +299,11 @@ class SimulatedDistRun:
 
     def _spmv(self, level: SimLevel, x: np.ndarray, sync_label: str,
               timer_key: str) -> np.ndarray:
-        self._spmv_comm(level, sync_label, timer_key)
+        if level.agglomerated:
+            # the whole level lives on node 0: full work, no messages
+            self._tick_local(timer_key, level.agg_spmv_work)
+        else:
+            self._spmv_comm(level, sync_label, timer_key)
         return level.A @ x
 
     def _smooth(self, level: SimLevel, z: np.ndarray, r: np.ndarray,
@@ -172,12 +315,18 @@ class SimulatedDistRun:
 
     def _half_sweep(self, level: SimLevel, z: np.ndarray, r: np.ndarray,
                     order) -> None:
-        for c in order:
+        order = list(order)
+        for pos, c in enumerate(order):
             rows = level.color_rows[c]
             s = level.color_blocks[c] @ z
             d = level.diag[rows]
             z[rows] = (r[rows] - s + z[rows] * d) / d
-            self._rbgs_comm(level, c)
+            if level.agglomerated:
+                self._tick_local(f"mg/L{level.index}/rbgs",
+                                 level.agg_color_work[c])
+            else:
+                nxt = order[pos + 1] if pos + 1 < len(order) else None
+                self._rbgs_comm(level, c, nxt)
 
     def _vcycle(self, li: int, z: np.ndarray, r: np.ndarray) -> np.ndarray:
         level = self.levels[li]
@@ -189,11 +338,26 @@ class SimulatedDistRun:
         f *= -1.0
         f += 1.0 * r                                  # f <- r - A z
         rc = f[level.injection].copy()                # restrict (injection)
-        self._restrict_comm(level, coarse)
+        if coarse.agglomerated:
+            if level.agglomerated:
+                # both levels already sit on node 0: a local copy
+                self._tick_local(f"mg/L{li}/restrict",
+                                 _RESTRICT_COPY_BYTES * coarse.n)
+            else:
+                self._agg_gather(level, coarse)
+        else:
+            self._restrict_comm(level, coarse)
         zc = np.zeros(coarse.n)
         self._vcycle(li + 1, zc, rc)
         z[level.injection] += zc                      # refine-and-add
-        self._prolong_comm(level, coarse)
+        if coarse.agglomerated:
+            if level.agglomerated:
+                self._tick_local(f"mg/L{li}/prolong",
+                                 _RESTRICT_COPY_BYTES * coarse.n)
+            else:
+                self._agg_scatter(level, coarse)
+        else:
+            self._prolong_comm(level, coarse)
         self._smooth(level, z, r, sweeps=1)           # post-smoothing
         return z
 
@@ -208,11 +372,15 @@ class SimulatedDistRun:
 
         The iteration structure transcribes :func:`repro.hpcg.cg.pcg`
         operation for operation, so the residual history is
-        bit-identical to the serial driver's.
+        bit-identical to the serial driver's — in either communication
+        mode, which changes pricing only.
         """
         self.tracker = CommTracker(self.nprocs)
         self.timers = TimerRegistry()
+        self.comm_timers = TimerRegistry()
         self._seconds = 0.0
+        self._comm_seconds = 0.0
+        self._exposed_comm_seconds = 0.0
         level0 = self.levels[0]
         n = self.n
         b = self.problem.b.to_dense()
@@ -273,24 +441,8 @@ class SimulatedDistRun:
             timers=self.timers,
             tracker=self.tracker,
             mg_levels=self.mg_levels,
+            comm_mode=self.comm_mode,
+            comm_seconds=self._comm_seconds,
+            exposed_comm_seconds=self._exposed_comm_seconds,
+            comm_timers=self.comm_timers,
         )
-
-
-def per_node_rows_and_nnz(A: sp.csr_matrix, owners: np.ndarray, p: int):
-    """Per-node owned-row counts and stored-entry counts."""
-    row_nnz = np.diff(A.indptr).astype(np.int64)
-    rows = np.bincount(owners, minlength=p).astype(np.int64)
-    nnz = np.bincount(owners, weights=row_nnz, minlength=p).astype(np.int64)
-    return rows, nnz
-
-
-def per_node_color_work(A: sp.csr_matrix, owners: np.ndarray,
-                        colors: np.ndarray, p: int, ncolors: int):
-    """Per-colour worst-node mxv work in bytes."""
-    row_nnz = np.diff(A.indptr).astype(np.int64)
-    key = owners * ncolors + colors
-    nnz = np.bincount(key, weights=row_nnz,
-                      minlength=p * ncolors).reshape(p, ncolors)
-    rows = np.bincount(key, minlength=p * ncolors).reshape(p, ncolors)
-    work = nnz * _MXV_NNZ_BYTES + rows * _MXV_ROW_BYTES
-    return work.max(axis=0)

@@ -110,3 +110,129 @@ class TestSupersteps:
         t = CommTracker(2)
         assert t.max_send_per_node() == 0
         assert t.total_h == 0
+
+
+class TestSplitPhase:
+    def test_post_wait_equals_sync(self):
+        """wait(post()) with no overlap is an eager superstep."""
+        t = CommTracker(3)
+        t.send(0, 1, 100)
+        h = t.post(label="halo")
+        stats = t.wait(h)
+        assert stats.h == 100 and stats.label == "halo"
+        assert stats.posted and stats.overlapped_work == 0.0
+        assert t.label_syncs == {"halo": 1}
+
+    def test_sends_after_post_belong_to_next_superstep(self):
+        t = CommTracker(2)
+        t.send(0, 1, 10)
+        h = t.post()
+        t.send(0, 1, 99)          # lands in the *next* exchange
+        assert t.wait(h).total_bytes == 10
+        assert t.sync().total_bytes == 99
+
+    def test_overlap_tagging_accumulates(self):
+        t = CommTracker(2)
+        t.send(0, 1, 10)
+        h = t.post()
+        h.overlap(100.0).overlap(50.0)
+        assert t.wait(h).overlapped_work == 150.0
+
+    def test_wait_fifo_default(self):
+        t = CommTracker(2)
+        t.send(0, 1, 1)
+        first = t.post(label="a")
+        t.send(0, 1, 2)
+        t.post(label="b")
+        stats = t.wait()          # FIFO: the "a" exchange
+        assert stats.label == "a" and stats.total_bytes == 1
+        assert first.closed and t.in_flight == 1
+        t.wait()
+
+    def test_wait_errors(self):
+        t = CommTracker(2)
+        with pytest.raises(InvalidValue):
+            t.wait()              # nothing posted
+        h = t.post()
+        t.wait(h)
+        with pytest.raises(InvalidValue):
+            t.wait(h)             # double wait
+        with pytest.raises(InvalidValue):
+            h.overlap(10.0)       # overlap after wait
+        other = CommTracker(2).post()
+        with pytest.raises(InvalidValue):
+            t.wait(other)         # foreign handle
+
+    def test_negative_overlap_rejected(self):
+        t = CommTracker(2)
+        h = t.post()
+        with pytest.raises(InvalidValue):
+            h.overlap(-1.0)
+        t.wait(h)
+
+    def test_total_overlapped_work(self):
+        t = CommTracker(2)
+        t.send(0, 1, 10)
+        t.wait(t.post().overlap(64.0))
+        t.sync()
+        assert t.total_overlapped_work == 64.0
+
+
+class TestResetAndContext:
+    def test_reset_forgets_everything(self):
+        t = CommTracker(2)
+        t.send(0, 1, 10, label="x")
+        t.sync(label="x")
+        t.send(0, 1, 20)
+        t.post()
+        t.reset()
+        assert t.num_syncs == 0 and t.total_bytes == 0
+        assert t.label_bytes == {} and t.label_syncs == {}
+        assert t.in_flight == 0
+        assert t.sync().total_bytes == 0   # pending sends cleared too
+
+    def test_context_manager_clean_exit(self):
+        with CommTracker(2) as t:
+            t.send(0, 1, 10)
+            t.wait(t.post())
+        assert t.num_syncs == 1
+
+    def test_context_manager_flags_leaked_exchange(self):
+        with pytest.raises(InvalidValue):
+            with CommTracker(2) as t:
+                t.send(0, 1, 10)
+                t.post()          # never waited: a simulated deadlock
+
+    def test_context_manager_does_not_mask_errors(self):
+        with pytest.raises(RuntimeError):
+            with CommTracker(2) as t:
+                t.post()
+                raise RuntimeError("boom")
+
+
+class TestResolveCommMode:
+    def test_explicit_wins(self, monkeypatch):
+        from repro.dist.comm import resolve_comm_mode
+        monkeypatch.setenv("REPRO_OVERLAP", "1")
+        assert resolve_comm_mode("eager") == "eager"
+
+    def test_env_force(self, monkeypatch):
+        from repro.dist.comm import resolve_comm_mode
+        for raw, expect in (("1", "overlap"), ("on", "overlap"),
+                            ("overlap", "overlap"), ("0", "eager"),
+                            ("", "eager"), ("eager", "eager")):
+            monkeypatch.setenv("REPRO_OVERLAP", raw)
+            assert resolve_comm_mode() == expect
+
+    def test_default_eager(self, monkeypatch):
+        from repro.dist.comm import resolve_comm_mode
+        monkeypatch.delenv("REPRO_OVERLAP", raising=False)
+        assert resolve_comm_mode() == "eager"
+
+    def test_garbage_rejected(self, monkeypatch):
+        from repro.dist.comm import resolve_comm_mode
+        monkeypatch.setenv("REPRO_OVERLAP", "sometimes")
+        with pytest.raises(InvalidValue):
+            resolve_comm_mode()
+        with pytest.raises(InvalidValue):
+            resolve_comm_mode("async")

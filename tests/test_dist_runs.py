@@ -126,3 +126,113 @@ class TestRefDist:
         rows = res.mg_level_breakdown()
         assert len(rows) == 3
         assert all(0 <= r["rbgs"] <= 1 for r in rows)
+
+
+class TestBfsPartitionBackend:
+    """bfs_partition (solution iv) as a first-class RefDistRun owner
+    source: full CG+MG on structure-derived owners."""
+
+    def test_residuals_match_serial(self, dist_problem):
+        run = RefDistRun(dist_problem, nprocs=4, mg_levels=3,
+                         partition="bfs")
+        res = run.run_cg(max_iters=5)
+        serial = run_hpcg(nx=0, problem=dist_problem, max_iters=5,
+                          mg_levels=3, validate_symmetry=False)
+        np.testing.assert_allclose(res.residuals, serial.cg.residuals,
+                                   rtol=1e-12)
+
+    def test_halo_volume_close_to_geometric(self, dist_problem):
+        """The black-box BFS partition recovers most of the geometric
+        locality: its halo is the same order as the 3D boxes' surface
+        (well below the locality-free cyclic distribution's volume)."""
+        geo = RefDistRun(dist_problem, nprocs=4, mg_levels=1)
+        bfs = RefDistRun(dist_problem, nprocs=4, mg_levels=1,
+                         partition="bfs")
+        geo_halo = sum(geo.levels[0].spmv_halo.values())
+        bfs_halo = sum(bfs.levels[0].spmv_halo.values())
+        assert geo_halo < bfs_halo <= 3 * geo_halo
+        # a locality-free ownership moves ~the whole volume instead
+        from repro.dist.partition import halo_for_owners
+        A = dist_problem.A.to_scipy()
+        cyc = BlockCyclic1D(dist_problem.n, 4).owner(
+            np.arange(dist_problem.n))
+        cyc_halo = sum(idxs.size * 8 for idxs in halo_for_owners(
+            A.indptr, A.indices, cyc, 4).values())
+        assert bfs_halo * 3 < cyc_halo
+
+    def test_bfs_restriction_crosses_some_nodes(self, dist_problem):
+        """BFS levels are partitioned independently, so a few injection
+        points cross nodes — priced, unlike the geometric free copy."""
+        res = RefDistRun(dist_problem, nprocs=4, mg_levels=3,
+                         partition="bfs").run_cg(max_iters=2)
+        moved = (res.tracker.label_bytes.get("restrict", 0)
+                 + res.tracker.label_bytes.get("refine", 0))
+        assert moved > 0
+        # ... but far fewer than the whole coarse vector per transfer
+        coarse_n = res.tracker.label_bytes.get("restrict", 0) / 8
+        assert coarse_n < dist_problem.n // 8
+
+    def test_unknown_partition_rejected(self, dist_problem):
+        with pytest.raises(InvalidValue):
+            RefDistRun(dist_problem, nprocs=4, partition="metis")
+
+
+class TestAgglomeration:
+    """Coarse-grid agglomeration: gather tiny levels onto one node."""
+
+    def test_numerics_unchanged(self, dist_problem):
+        base = RefDistRun(dist_problem, nprocs=4, mg_levels=3)
+        agg = RefDistRun(dist_problem, nprocs=4, mg_levels=3,
+                         agglomerate_below=200)
+        res_b = base.run_cg(max_iters=4)
+        res_a = agg.run_cg(max_iters=4)
+        np.testing.assert_array_equal(res_b.residuals, res_a.residuals)
+
+    def test_fewer_supersteps(self, dist_problem):
+        base = RefDistRun(dist_problem, nprocs=4, mg_levels=3)
+        agg = RefDistRun(dist_problem, nprocs=4, mg_levels=3,
+                         agglomerate_below=200)
+        assert agg.levels[2].agglomerated and not agg.levels[0].agglomerated
+        res_b = base.run_cg(max_iters=3)
+        res_a = agg.run_cg(max_iters=3)
+        assert res_a.syncs < res_b.syncs
+
+    def test_latency_bound_grids_win(self, dist_problem):
+        """On a latency-dominated fabric, dodging the tiny coarse-level
+        supersteps beats the lost parallelism (the ROADMAP tradeoff)."""
+        from repro.dist import BSPMachine
+        slow_sync = BSPMachine("slow-sync", mem_bandwidth=192.0e9,
+                               net_bandwidth=12.5e9, latency=50e-6)
+        base = RefDistRun(dist_problem, nprocs=4, mg_levels=3,
+                          machine=slow_sync).run_cg(max_iters=3)
+        agg = RefDistRun(dist_problem, nprocs=4, mg_levels=3,
+                         machine=slow_sync,
+                         agglomerate_below=200).run_cg(max_iters=3)
+        assert agg.modelled_seconds < base.modelled_seconds
+
+    def test_gather_scatter_priced(self, dist_problem):
+        res = RefDistRun(dist_problem, nprocs=4, mg_levels=3,
+                         agglomerate_below=200).run_cg(max_iters=2)
+        assert res.tracker.label_bytes.get("agg_gather", 0) > 0
+        assert res.tracker.label_bytes.get("agg_scatter", 0) > 0
+
+    def test_agglomerated_level_never_syncs(self, dist_problem):
+        res = RefDistRun(dist_problem, nprocs=4, mg_levels=3,
+                         agglomerate_below=200).run_cg(max_iters=2)
+        # the coarse smoother still costs local time but zero wire time
+        assert res.timers.total("mg/L2/rbgs") > 0
+        assert res.comm_timers.total("full/mg/L2/rbgs") == 0
+        assert res.comm_timers.total("full/mg/L1/rbgs") > 0
+
+    def test_works_on_alp_backend(self, dist_problem):
+        base = HybridALPRun(dist_problem, nprocs=4, mg_levels=3)
+        agg = HybridALPRun(dist_problem, nprocs=4, mg_levels=3,
+                           agglomerate_below=200)
+        res_b = base.run_cg(max_iters=2)
+        res_a = agg.run_cg(max_iters=2)
+        np.testing.assert_array_equal(res_b.residuals, res_a.residuals)
+        assert res_a.comm_bytes < res_b.comm_bytes
+
+    def test_negative_threshold_rejected(self, dist_problem):
+        with pytest.raises(InvalidValue):
+            RefDistRun(dist_problem, nprocs=4, agglomerate_below=-1)
