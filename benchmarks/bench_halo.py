@@ -95,7 +95,7 @@ def _rbgs_comm_seconds(res):
             sum(r["exposed"] for r in rows))
 
 
-def bench_overlap_rbgs_comm_win(benchmark, problem16):
+def bench_overlap_rbgs_comm_win(benchmark, problem16, bench_json, request):
     """The headline number: modelled RBGS wire time hidden by the
     split-phase engine on the Table-II machine presets."""
 
@@ -116,6 +116,10 @@ def bench_overlap_rbgs_comm_win(benchmark, problem16):
         assert exposed_e == pytest.approx(full_e)    # eager hides nothing
         assert full_o == pytest.approx(full_e)       # same wire time...
         strictly_lower.append(exposed_o < full_o)    # ...less exposed
+        bench_json.record(request.node.nodeid, **{
+            f"{machine.name}/rbgs_full_seconds": full_o,
+            f"{machine.name}/rbgs_exposed_seconds": exposed_o,
+        })
     # ...and strictly lower modelled RBGS comm on a Table-II preset
     assert any(strictly_lower)
 
@@ -133,7 +137,8 @@ def bench_overlap_per_level_breakdown(benchmark, problem16):
     assert rows[0]["hidden"] > 0.0
 
 
-def bench_overlap_backend_contrast(benchmark, problem16):
+def bench_overlap_backend_contrast(benchmark, problem16, bench_json,
+                                   request):
     """Ref's surface halos overlap; ALP's opaque allgathers cannot —
     the modelled contrast the paper's §VI predicts."""
 
@@ -147,3 +152,6 @@ def bench_overlap_backend_contrast(benchmark, problem16):
     ref, alp = benchmark(run)
     assert ref.hidden_comm_seconds > 0.0
     assert alp.hidden_comm_seconds == pytest.approx(0.0)
+    bench_json.record(request.node.nodeid,
+                      ref_hidden_comm_seconds=ref.hidden_comm_seconds,
+                      alp_hidden_comm_seconds=alp.hidden_comm_seconds)

@@ -75,7 +75,7 @@ def bench_provider_build(benchmark, name, problem16):
     assert prov.nnz == problem16.A.nvals
 
 
-def bench_provider_bytes_reported(problem16, rhs16):
+def bench_provider_bytes_reported(problem16, rhs16, bench_json, request):
     """Not a timing: assert the registry prices each format differently."""
     x = grb.Vector.from_dense(rhs16)
     totals = {}
@@ -87,6 +87,8 @@ def bench_provider_bytes_reported(problem16, rhs16):
             grb.mxv(y, None, A, x)
         totals[name] = log.total("bytes", fmt=name)
     assert len(set(totals.values())) == len(totals), totals
+    bench_json.record(request.node.nodeid,
+                      priced_bytes_per_format=totals)
 
 
 def bench_select_tril(benchmark, A16):

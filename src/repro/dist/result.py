@@ -37,6 +37,11 @@ class DistRunResult:
     comm_mode: str = "eager"
     comm_seconds: float = 0.0
     exposed_comm_seconds: float = 0.0
+    #: name of the :class:`~repro.dist.bsp.BSPMachine` that priced the
+    #: run — ``profile:<name>`` when built via ``BSPMachine.from_profile``,
+    #: so reports show whether a measurement or a datasheet preset set
+    #: the modelled times
+    machine: str = ""
     #: wire-time decomposition under ``full/<key>`` / ``exposed/<key>``
     #: labels — kept apart from ``timers`` so kernel-share reports
     #: still sum to ``modelled_seconds``
@@ -95,6 +100,7 @@ class DistRunResult:
 
     def summary(self) -> str:
         final = self.final_residual
+        priced = f" priced by {self.machine}" if self.machine else ""
         return (
             f"{self.backend}: p={self.nprocs}, n={self.n}, "
             f"{self.iterations} iterations, final residual {final:.3e}, "
@@ -102,5 +108,5 @@ class DistRunResult:
             f"comm {self.comm_bytes / 1e6:.3f} MB over {self.syncs} "
             f"supersteps [{self.comm_mode}: "
             f"{self.exposed_comm_seconds:.6f}s exposed of "
-            f"{self.comm_seconds:.6f}s wire time]"
+            f"{self.comm_seconds:.6f}s wire time]{priced}"
         )

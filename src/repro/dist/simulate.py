@@ -445,4 +445,5 @@ class SimulatedDistRun:
             comm_seconds=self._comm_seconds,
             exposed_comm_seconds=self._exposed_comm_seconds,
             comm_timers=self.comm_timers,
+            machine=self.machine.name,
         )

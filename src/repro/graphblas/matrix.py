@@ -70,7 +70,7 @@ class Matrix:
         csr.sort_indices()
         gbtypes.as_dtype(csr.dtype)
         if substrate is not None:
-            substrate_mod.get(substrate)  # validate the pin eagerly
+            substrate_mod.validate_request(substrate)  # eager typo check
         self._csr = csr
         self._csr_t: Optional[sp.csr_matrix] = None
         # LRU of (id(mask), version, transpose) -> (rows, substructure)
@@ -187,9 +187,10 @@ class Matrix:
         return self._substrate
 
     def set_substrate(self, name: Optional[str]) -> "Matrix":
-        """Pin this matrix to a provider (``None`` returns it to auto)."""
+        """Pin this matrix to a provider (``None`` returns it to auto;
+        ``"model"`` pins it to profile-driven selection)."""
         if name is not None:
-            substrate_mod.get(name)
+            substrate_mod.validate_request(name)
         self._substrate_request = name
         self._substrate = None
         self._provider = None

@@ -13,8 +13,12 @@ Public surface:
 * :class:`CsrProvider`, :class:`SellCSigmaProvider`,
   :class:`BlockedDenseProvider` — the three built-in formats;
 * :func:`register` / :func:`available` / :func:`get` — the registry;
-* :func:`choose` / :func:`resolve` / :func:`make` — per-matrix
-  auto-selection (``REPRO_SUBSTRATE`` forces every unpinned matrix).
+* :func:`choose` / :func:`choose_model` / :func:`resolve` /
+  :func:`make` — per-matrix auto-selection (``REPRO_SUBSTRATE`` forces
+  every unpinned matrix; ``REPRO_SUBSTRATE=model`` or
+  ``selection="model"`` prices candidates with the measured
+  :mod:`repro.tune` machine profile, falling back to the structure
+  heuristic when none is cached).
 """
 
 from repro.graphblas.substrate.base import KernelProvider, MatrixProfile
@@ -23,13 +27,16 @@ from repro.graphblas.substrate.csr import CsrProvider
 from repro.graphblas.substrate.registry import (
     AUTO_MIN_SIZE,
     ENV_VAR,
+    MODEL,
     available,
     choose,
+    choose_model,
     forced,
     get,
     make,
     register,
     resolve,
+    validate_request,
 )
 from repro.graphblas.substrate.sellcs import SellCSigmaProvider
 
@@ -43,9 +50,12 @@ __all__ = [
     "available",
     "get",
     "choose",
+    "choose_model",
     "resolve",
     "make",
     "forced",
+    "validate_request",
     "ENV_VAR",
+    "MODEL",
     "AUTO_MIN_SIZE",
 ]

@@ -4,11 +4,22 @@ Selection order, mirroring how ALP picks a backend:
 
 1. an explicit request (``Matrix(..., substrate="sellcs")`` or
    ``Matrix.set_substrate``) always wins — algorithm studies need to
-   pin a format;
+   pin a format.  The request may also be the selection *mode*
+   ``"model"``, pinning this matrix to model-driven selection;
 2. the ``REPRO_SUBSTRATE`` environment variable forces every
    *unpinned* matrix onto one provider — the CI lever proving the
-   algorithm layer is substrate-independent;
+   algorithm layer is substrate-independent — or, with
+   ``REPRO_SUBSTRATE=model``, onto model-driven selection;
 3. otherwise :func:`choose` inspects the matrix structure.
+
+**Model-driven selection** (``"model"``, either as a pin, as a
+``selection="model"`` argument to :func:`resolve`/:func:`make`, or via
+the environment force) prices every registered provider with the
+measured per-format byte rates of the cached
+:class:`repro.tune.MachineProfile` and picks the cheapest
+structurally-safe one.  When no profile is cached (or it is stale or
+schema-incompatible) the mode falls back to the structure heuristic
+below, silently — an uncalibrated machine behaves exactly as before.
 
 The heuristic reads three signals from :class:`MatrixProfile` (size,
 row-length coefficient of variation, density):
@@ -39,6 +50,9 @@ from repro.util.errors import InvalidValue
 
 ENV_VAR = "REPRO_SUBSTRATE"
 
+#: the selection-mode sentinel: not a provider, a way of choosing one
+MODEL = "model"
+
 #: below this many rows auto-selection always stays on CSR
 AUTO_MIN_SIZE = 32768
 
@@ -56,6 +70,10 @@ def register(cls: Type[KernelProvider],
     """
     if not cls.name or cls.name == "abstract":
         raise InvalidValue("provider classes must define a unique name")
+    if cls.name.lower() in (MODEL, "auto"):
+        raise InvalidValue(
+            f"{cls.name!r} is a reserved selection-mode name"
+        )
     existing = _REGISTRY.get(cls.name)
     if existing is not None and existing is not cls and not replace:
         raise InvalidValue(
@@ -82,11 +100,24 @@ def get(name: str) -> Type[KernelProvider]:
 
 
 def forced() -> Optional[str]:
-    """The ``REPRO_SUBSTRATE`` override, validated; None when unset/auto."""
+    """The ``REPRO_SUBSTRATE`` override, validated; None when unset/auto.
+
+    Besides a provider name, the value may be :data:`MODEL` — the
+    model-driven selection mode, returned as the literal ``"model"``.
+    """
     name = os.environ.get(ENV_VAR, "").strip()
     if name.lower() in ("", "auto"):
         return None
+    if name.lower() == MODEL:
+        return MODEL
     get(name)  # raise on typos rather than silently ignoring the force
+    return name
+
+
+def validate_request(name: str) -> str:
+    """Check a pin string: a registered provider name or ``"model"``."""
+    if name != MODEL:
+        get(name)
     return name
 
 
@@ -112,20 +143,61 @@ def choose(csr: sp.csr_matrix) -> str:
     return CsrProvider.name
 
 
-def resolve(csr: sp.csr_matrix, request: Optional[str] = None) -> str:
-    """Apply the selection order: explicit > environment force > heuristic."""
+def choose_model(csr: sp.csr_matrix, profile=None) -> str:
+    """Pick a provider by predicted cost under a measured profile.
+
+    ``profile`` defaults to the cached :func:`repro.tune.current_profile`;
+    with none available this degrades to :func:`choose` — model mode on
+    an uncalibrated machine is exactly the heuristic, no warnings.
+    """
+    from repro.tune import cache as tune_cache
+    from repro.tune import select as tune_select
+
+    if profile is None:
+        profile = tune_cache.current_profile()
+    if profile is None:
+        return choose(csr)
+    p = MatrixProfile.from_csr(csr)
+    return tune_select.choose_model(p, profile, available(),
+                                    min_size=AUTO_MIN_SIZE)
+
+
+def resolve(csr: sp.csr_matrix, request: Optional[str] = None,
+            selection: Optional[str] = None) -> str:
+    """Apply the selection order: explicit > environment force > automatic.
+
+    ``request`` is a provider name (or ``"model"``, equivalent to
+    ``selection="model"``); ``selection`` picks the automatic mode —
+    ``"heuristic"`` (default), ``"model"``, or ``None``/``"auto"``.
+    """
+    if request == MODEL:
+        request, selection = None, MODEL
     if request is not None:
         get(request)
         return request
+    if selection not in (None, "auto", "heuristic", MODEL):
+        raise InvalidValue(
+            f"unknown selection mode {selection!r}; expected "
+            f"'heuristic' or 'model'"
+        )
+    # an explicit selection mode is a pin: it beats the env force,
+    # exactly as an explicit provider request does
+    if selection == MODEL:
+        return choose_model(csr)
+    if selection == "heuristic":
+        return choose(csr)
     env = forced()
+    if env == MODEL:
+        return choose_model(csr)
     if env is not None:
         return env
     return choose(csr)
 
 
-def make(csr: sp.csr_matrix, request: Optional[str] = None) -> KernelProvider:
+def make(csr: sp.csr_matrix, request: Optional[str] = None,
+         selection: Optional[str] = None) -> KernelProvider:
     """Build the provider :func:`resolve` selects for ``csr``."""
-    return get(resolve(csr, request))(csr)
+    return get(resolve(csr, request, selection))(csr)
 
 
 register(CsrProvider)

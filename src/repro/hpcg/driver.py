@@ -223,6 +223,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="print the full timer table")
     parser.add_argument("--report", action="store_true",
                         help="print an official-HPCG-style YAML report")
+    parser.add_argument("--profile", action="store_true",
+                        help="attach the cached repro.tune machine "
+                             "profile to the report (run `python -m "
+                             "repro.tune measure` first)")
     args = parser.parse_args(argv)
     result = run_hpcg(
         args.nx, args.ny, args.nz,
@@ -232,11 +236,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         b_style=args.b_style,
     )
     print(result.summary())
+    profile = None
+    if args.profile:
+        from repro.tune import cache as tune_cache
+        profile = tune_cache.current_profile()
+        if profile is None:
+            print("(no machine profile cached; run "
+                  "`python -m repro.tune measure`)")
+        else:
+            print(f"machine profile: {profile.name} "
+                  f"(triad {profile.triad_bandwidth / 1e9:.2f} GB/s)")
     if args.timers:
         print(result.timers.report())
     if args.report:
         from repro.hpcg.report import render_report
-        print(render_report(result))
+        print(render_report(result, profile=profile))
     return 0 if result.symmetry.passed else 1
 
 

@@ -10,13 +10,18 @@ needed — the subset we emit is plain nested scalars).
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.hpcg.driver import HPCGResult
 
 
-def to_dict(result: HPCGResult) -> Dict:
-    """The report as a nested dictionary."""
+def to_dict(result: HPCGResult, profile=None) -> Dict:
+    """The report as a nested dictionary.
+
+    ``profile`` (a :class:`repro.tune.MachineProfile`) adds a "Machine
+    Profile" section recording which measurement priced/contextualised
+    the run — the official report likewise names its machine.
+    """
     problem = result.problem
     counts = result.flops.merged()
     kernel_seconds = {
@@ -33,6 +38,21 @@ def to_dict(result: HPCGResult) -> Dict:
         else:
             flops = counts.get(kernel, 0.0)
         gflops_per_kernel[kernel] = flops / seconds / 1e9 if seconds else 0.0
+    machine_section = {}
+    if profile is not None:
+        machine_section = {
+            "Machine Profile": {
+                "Name": profile.name,
+                "Host": profile.host,
+                "Schema Version": profile.schema_version,
+                "Triad Bandwidth (GB/s)": round(
+                    profile.triad_bandwidth / 1e9, 3),
+                "BSP g (GB/s)": round(profile.net_bandwidth / 1e9, 3),
+                "BSP L (us)": round(profile.latency * 1e6, 3),
+                "Overlap Efficiency": round(profile.overlap_efficiency, 3),
+                "Fast Budget": profile.fast,
+            }
+        }
     return {
         "HPCG-Benchmark": {
             "version": "repro-python",
@@ -71,6 +91,7 @@ def to_dict(result: HPCGResult) -> Dict:
                 **{f"Raw {k.upper()}": round(v, 6)
                    for k, v in gflops_per_kernel.items()},
             },
+            **machine_section,
             "Final Summary": {
                 "HPCG result is": "VALID" if result.symmetry.passed else "INVALID",
                 "GFLOP/s rating of": round(result.gflops, 6),
@@ -91,6 +112,6 @@ def _render(node, indent: int = 0) -> str:
     return "\n".join(lines)
 
 
-def render_report(result: HPCGResult) -> str:
+def render_report(result: HPCGResult, profile=None) -> str:
     """The report as YAML-formatted text (official-report lookalike)."""
-    return _render(to_dict(result))
+    return _render(to_dict(result, profile=profile))

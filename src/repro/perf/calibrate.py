@@ -13,7 +13,7 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -82,28 +82,26 @@ def calibrate(problem: Problem, mg_levels: int = 3,
     )
 
 
-def this_machine(name: str = "local") -> MachineSpec:
+def this_machine(name: str = "local",
+                 calibration: Optional[CalibrationResult] = None,
+                 bandwidth: Optional[float] = None) -> MachineSpec:
     """A single-socket MachineSpec for the current host.
 
     Core count comes from the OS; bandwidth from the triad measurement.
+    A caller who already holds a :class:`CalibrationResult` (or a raw
+    triad figure) passes it via ``calibration=``/``bandwidth=`` and the
+    triad is *not* re-measured — :func:`calibrate` already paid for it.
     Cache/frequency fields are filled with neutral placeholders — the
     scaling model only consumes cores, sockets, NUMA domains and
     bandwidth.
     """
-    cores = os.cpu_count() or 1
-    return MachineSpec(
+    if bandwidth is None:
+        bandwidth = (calibration.triad_bandwidth if calibration is not None
+                     else measure_triad_bandwidth())
+    return MachineSpec.single_socket(
         name=name,
         cpu="local-host",
-        cores_per_socket=cores,
-        sockets=1,
-        threads_per_core=1,
-        numa_domains_per_socket=1,
-        max_frequency_ghz=0.0,
-        l3_cache_mb=0.0,
-        l2_cache_kb_per_core=0.0,
-        memory_channels=0,
-        ram_gb=0,
-        ddr_frequency_mhz=0,
-        attained_bandwidth=measure_triad_bandwidth(),
+        cores=os.cpu_count() or 1,
+        bandwidth=bandwidth,
         network="n/a",
     )

@@ -8,7 +8,7 @@ the bandwidth-bound kernel model divides by.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.util.errors import InvalidValue
 
@@ -35,6 +35,50 @@ class MachineSpec:
     def __post_init__(self):
         if self.cores_per_socket < 1 or self.sockets < 1:
             raise InvalidValue("machine must have at least one core/socket")
+
+    @classmethod
+    def single_socket(cls, name: str, cpu: str, cores: int,
+                      bandwidth: float, network: str) -> "MachineSpec":
+        """A measured single-socket spec with neutral placeholders.
+
+        The scaling model only consumes cores, sockets, NUMA domains
+        and bandwidth; cache/frequency fields are zeroed.  This is the
+        shared shape behind :func:`repro.perf.calibrate.this_machine`
+        and :meth:`from_profile`.
+        """
+        return cls(
+            name=name,
+            cpu=cpu,
+            cores_per_socket=max(int(cores), 1),
+            sockets=1,
+            threads_per_core=1,
+            numa_domains_per_socket=1,
+            max_frequency_ghz=0.0,
+            l3_cache_mb=0.0,
+            l2_cache_kb_per_core=0.0,
+            memory_channels=0,
+            ram_gb=0,
+            ddr_frequency_mhz=0,
+            attained_bandwidth=bandwidth,
+            network=network,
+        )
+
+    @classmethod
+    def from_profile(cls, profile, name: Optional[str] = None
+                     ) -> "MachineSpec":
+        """A single-socket spec built from a measured
+        :class:`repro.tune.MachineProfile` instead of a datasheet.
+
+        Core count and attained bandwidth come from the measurement.
+        """
+        return cls.single_socket(
+            name=name or f"profile:{profile.name}",
+            cpu=profile.host or "measured-host",
+            cores=profile.cores,
+            bandwidth=profile.triad_bandwidth,
+            network=(f"measured: g={profile.net_bandwidth / 1e9:.2f} GB/s, "
+                     f"L={profile.latency * 1e6:.2f} us"),
+        )
 
     @property
     def physical_cores(self) -> int:

@@ -1,0 +1,101 @@
+"""CLI for the autotuning subsystem: ``python -m repro.tune``.
+
+Subcommands:
+
+* ``measure`` — run the micro-benchmark suite and persist the profile
+  (``--fast`` is the CI budget, well under a minute; ``--smoke`` is
+  the seconds-long test budget);
+* ``show`` — print the cached profile;
+* ``clear`` — delete the cached profile.
+
+The cache location is ``$REPRO_TUNE_CACHE`` (default
+``~/.cache/repro/tune``); ``measure --out`` writes anywhere.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.tune import cache
+from repro.util.errors import InvalidValue
+
+
+def _cmd_measure(args: argparse.Namespace) -> int:
+    from repro.tune import microbench
+
+    budget = microbench.FULL
+    if args.fast:
+        budget = microbench.FAST
+    if args.smoke:
+        budget = microbench.SMOKE
+    start = time.perf_counter()
+    profile = microbench.measure(budget, name=args.name)
+    elapsed = time.perf_counter() - start
+    path = cache.save_profile(profile, path=args.out)
+    print(profile.summary())
+    print(f"measured in {elapsed:.1f}s ({budget.name} budget), "
+          f"saved to {path}")
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    try:
+        profile = cache.load_profile(path=args.path)
+    except (InvalidValue, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(profile.summary())
+    return 0
+
+
+def _cmd_clear(args: argparse.Namespace) -> int:
+    path = args.path or cache.profile_path()
+    if cache.clear(path=args.path):
+        print(f"removed {path}")
+    else:
+        print(f"nothing cached at {path}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tune",
+        description="Measure this machine and persist a MachineProfile "
+                    "for the modelling pipeline.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_measure = sub.add_parser(
+        "measure", help="run the micro-benchmark suite and save the profile")
+    p_measure.add_argument("--fast", action="store_true",
+                           help="the CI budget (completes in well under "
+                                "a minute)")
+    p_measure.add_argument("--smoke", action="store_true",
+                           help="the seconds-long test budget (numbers are "
+                                "valid but noisy)")
+    p_measure.add_argument("--name", default=None,
+                           help="profile name (default: hostname)")
+    p_measure.add_argument("--out", default=None,
+                           help="write here instead of the cache location")
+    p_measure.set_defaults(func=_cmd_measure)
+
+    p_show = sub.add_parser("show", help="print the cached profile")
+    p_show.add_argument("--path", default=None,
+                        help="read from here instead of the cache location")
+    p_show.set_defaults(func=_cmd_show)
+
+    p_clear = sub.add_parser("clear", help="delete the cached profile")
+    p_clear.add_argument("--path", default=None,
+                         help="delete this file instead of the cache "
+                              "location")
+    p_clear.set_defaults(func=_cmd_clear)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,322 @@
+"""The micro-benchmark suite behind ``python -m repro.tune measure``.
+
+Five probes, each answering one question the modelling pipeline
+otherwise answers with a datasheet constant:
+
+* **STREAM triad** — the machine's attainable memory bandwidth (the
+  number every bandwidth-bound prediction divides by); reuses
+  :func:`repro.perf.calibrate.measure_triad_bandwidth`.
+* **SpMV shape grid** — each registered substrate provider's effective
+  byte rate on three reference shapes (uniform 27-point stencil,
+  high-cv skewed rows, dense-ish), the rates the registry's ``model``
+  selection mode prices candidates with.
+* **RBGS probe** — each provider's effective rate over a full
+  multi-colour half-sweep (prebuilt colour blocks, the smoother's
+  steady state).
+* **Message cost** — BSP ``g`` and ``L`` fitted by least squares to
+  timed simulated h-relations (staged buffer copies standing in for
+  the wire, exactly what the simulated backends' sends are).
+* **Compute-under-copy interference** — a copy thread running against
+  a triad loop; the measured fraction of the shorter phase that the
+  concurrency hides is the machine's ``overlap_efficiency``.
+
+Budgets: :data:`FULL` for a real calibration, :data:`FAST` for the CI
+leg (the whole suite in well under a minute), :data:`SMOKE` for tests.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.grid import Grid3D, stencil_coo
+from repro.hpcg.coloring import lattice_coloring
+from repro.perf.calibrate import measure_triad_bandwidth
+from repro.tune.profile import MachineProfile
+from repro.tune.select import useful_bytes
+from repro.graphblas import substrate as substrate_mod
+from repro.graphblas.substrate.base import MatrixProfile
+
+
+@dataclass(frozen=True)
+class ProbeBudget:
+    """How much work each probe spends (sizes and best-of repeats)."""
+
+    name: str
+    triad_size: int
+    triad_repeats: int
+    stencil_nx: int            # uniform probe: nx^3 27-point stencil
+    highcv_rows: int           # skewed-row probe size
+    dense_rows: int            # dense-ish probe rows (64 columns)
+    spmv_repeats: int
+    rbgs_repeats: int
+    message_sizes: Tuple[int, ...]
+    message_repeats: int
+    overlap_size: int
+    overlap_repeats: int
+
+
+FULL = ProbeBudget(
+    name="full",
+    triad_size=4_000_000, triad_repeats=5,
+    stencil_nx=24, highcv_rows=16384, dense_rows=4096,
+    spmv_repeats=7, rbgs_repeats=5,
+    message_sizes=(4_096, 32_768, 262_144, 1_048_576, 4_194_304),
+    message_repeats=7,
+    overlap_size=4_000_000, overlap_repeats=5,
+)
+
+FAST = ProbeBudget(
+    name="fast",
+    triad_size=1_000_000, triad_repeats=3,
+    stencil_nx=16, highcv_rows=8192, dense_rows=2048,
+    spmv_repeats=3, rbgs_repeats=3,
+    message_sizes=(4_096, 65_536, 524_288, 2_097_152),
+    message_repeats=3,
+    overlap_size=1_000_000, overlap_repeats=3,
+)
+
+#: Minimal budget for unit tests: validity of the pipeline, not of the
+#: numbers.
+SMOKE = ProbeBudget(
+    name="smoke",
+    triad_size=100_000, triad_repeats=1,
+    stencil_nx=8, highcv_rows=1024, dense_rows=256,
+    spmv_repeats=1, rbgs_repeats=1,
+    message_sizes=(4_096, 65_536, 262_144),
+    message_repeats=1,
+    overlap_size=100_000, overlap_repeats=1,
+)
+
+BUDGETS = {b.name: b for b in (FULL, FAST, SMOKE)}
+
+
+def _best_of(fn, repeats: int) -> float:
+    """Minimum wall-clock of ``repeats`` calls (noise-floor timing)."""
+    best = float("inf")
+    for _ in range(max(repeats, 1)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+# ---------------------------------------------------------------------------
+# probe matrices: the shape grid
+# ---------------------------------------------------------------------------
+
+def probe_matrices(budget: ProbeBudget) -> Dict[str, sp.csr_matrix]:
+    """The shape grid: one representative CSR per shape class."""
+    # uniform: the 27-point stencil, near-constant row lengths
+    grid = Grid3D(budget.stencil_nx, budget.stencil_nx, budget.stencil_nx)
+    rows, cols, vals = stencil_coo(grid, "27pt")
+    uniform = sp.csr_matrix((vals, (rows, cols)),
+                            shape=(grid.npoints, grid.npoints))
+    uniform.sort_indices()
+    # highcv: skewed row lengths (geometric-ish), the SELL-C-σ case
+    rng = np.random.default_rng(7)
+    n = budget.highcv_rows
+    row_nnz = np.minimum(1 + rng.geometric(1.0 / 12.0, size=n), n)
+    r = np.repeat(np.arange(n, dtype=np.int64), row_nnz)
+    c = rng.integers(0, n, size=r.size, dtype=np.int64)
+    v = rng.standard_normal(r.size)
+    highcv = sp.csr_matrix((v, (r, c)), shape=(n, n))
+    highcv.sum_duplicates()
+    highcv.sort_indices()
+    # dense-ish: a tall block over few columns, density well above 0.25
+    dn, dm = budget.dense_rows, 64
+    mask = rng.random((dn, dm)) < 0.4
+    dense_arr = rng.standard_normal((dn, dm)) * mask
+    dense = sp.csr_matrix(dense_arr)
+    dense.sort_indices()
+    return {"uniform": uniform, "highcv": highcv, "dense": dense}
+
+
+# ---------------------------------------------------------------------------
+# the probes
+# ---------------------------------------------------------------------------
+
+def measure_spmv_rates(
+    budget: ProbeBudget,
+    names: Optional[Sequence[str]] = None,
+    matrices: Optional[Dict[str, sp.csr_matrix]] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Effective SpMV bytes/s per (provider, shape class).
+
+    The rate normaliser is the csr-equivalent useful stream, so rates
+    across formats are directly comparable: ``useful / rate`` is each
+    format's measured seconds on that shape.
+    """
+    if names is None:
+        names = substrate_mod.available()
+    if matrices is None:
+        matrices = probe_matrices(budget)
+    rng = np.random.default_rng(3)
+    out: Dict[str, Dict[str, float]] = {name: {} for name in names}
+    for shape, csr in matrices.items():
+        nbytes = useful_bytes(MatrixProfile.from_csr(csr))
+        x = rng.standard_normal(csr.shape[1])
+        for name in names:
+            provider = substrate_mod.get(name)(csr)
+            provider.mxv(x)   # warm-up (and structure build check)
+            elapsed = _best_of(lambda: provider.mxv(x),
+                               budget.spmv_repeats)
+            out[name][shape] = nbytes / elapsed if elapsed > 0 else 0.0
+    return out
+
+
+def measure_rbgs_rates(
+    budget: ProbeBudget,
+    names: Optional[Sequence[str]] = None,
+) -> Dict[str, float]:
+    """Effective bytes/s of a full RBGS half-sweep per provider.
+
+    Colour blocks are prebuilt (the smoother's steady state — the
+    hierarchy builds them once) so the probe times the per-colour
+    masked products, not format construction.
+    """
+    if names is None:
+        names = substrate_mod.available()
+    grid = Grid3D(budget.stencil_nx, budget.stencil_nx, budget.stencil_nx)
+    rows, cols, vals = stencil_coo(grid, "27pt")
+    A = sp.csr_matrix((vals, (rows, cols)),
+                      shape=(grid.npoints, grid.npoints))
+    A.sort_indices()
+    colors = lattice_coloring(grid, "27pt")
+    ncolors = int(colors.max()) + 1
+    color_rows = [np.flatnonzero(colors == c) for c in range(ncolors)]
+    diag = A.diagonal()
+    rng = np.random.default_rng(5)
+    r = rng.standard_normal(A.shape[0])
+    nbytes = useful_bytes(MatrixProfile.from_csr(A))
+    out: Dict[str, float] = {}
+    for name in names:
+        blocks = [substrate_mod.get(name)(A[sel, :]) for sel in color_rows]
+
+        def half_sweep():
+            z = np.zeros(A.shape[0])
+            for c in range(ncolors):
+                sel = color_rows[c]
+                s = blocks[c].mxv(z)
+                d = diag[sel]
+                z[sel] = (r[sel] - s + z[sel] * d) / d
+            return z
+
+        half_sweep()   # warm-up
+        elapsed = _best_of(half_sweep, budget.rbgs_repeats)
+        out[name] = nbytes / elapsed if elapsed > 0 else 0.0
+    return out
+
+
+def fit_message_cost(budget: ProbeBudget) -> Tuple[float, float]:
+    """Fit BSP ``(g, L)`` to timed simulated h-relations.
+
+    The simulated backends' "wire" is host memory: a send is a staged
+    copy (pack into a message buffer, unpack at the receiver).  Timing
+    that transport over a range of message sizes and fitting
+    ``seconds = L + h / g`` by least squares yields the g/L the BSP
+    model should charge *for this simulator on this machine* — the
+    honest analogue of a ping-pong fit on a real fabric.
+    """
+    sizes: List[float] = []
+    times: List[float] = []
+    for nbytes in budget.message_sizes:
+        n = max(nbytes // 8, 1)
+        src = np.random.default_rng(1).standard_normal(n)
+        stage = np.empty(n)
+        dst = np.empty(n)
+
+        def exchange():
+            np.copyto(stage, src)   # pack / inject
+            np.copyto(dst, stage)   # deliver / unpack
+
+        exchange()   # warm-up
+        elapsed = _best_of(exchange, budget.message_repeats)
+        sizes.append(float(n * 8))
+        times.append(elapsed)
+    slope, intercept = np.polyfit(np.asarray(sizes), np.asarray(times), 1)
+    if slope <= 0:
+        # timer-noise degenerate fit: fall back to the largest probe's
+        # raw throughput and a nominal microsecond of latency
+        g = sizes[-1] / times[-1] if times[-1] > 0 else 1e9
+        return g, 1e-6
+    g = 1.0 / slope
+    latency = max(float(intercept), 1e-9)
+    return float(g), latency
+
+
+def measure_overlap_efficiency(budget: ProbeBudget) -> float:
+    """Measured fraction of a copy the machine hides behind compute.
+
+    Times a triad compute phase and a buffer-copy phase separately,
+    then concurrently (the copy on a thread — NumPy releases the GIL
+    for both).  Perfect NIC/compute-style concurrency gives
+    ``t_both == max(t_comp, t_copy)`` (efficiency 1); full serialisation
+    gives ``t_both == t_comp + t_copy`` (efficiency 0).
+    """
+    n = budget.overlap_size
+    rng = np.random.default_rng(2)
+    a = np.zeros(n)
+    b = rng.standard_normal(n)
+    c = rng.standard_normal(n)
+    src = rng.standard_normal(n)
+    dst = np.empty(n)
+
+    def compute():
+        np.multiply(b, 2.5, out=a)
+        np.add(a, c, out=a)
+
+    def copy():
+        np.copyto(dst, src)
+
+    best_eff = 0.0
+    for _ in range(max(budget.overlap_repeats, 1)):
+        t_comp = _best_of(compute, 1)
+        t_copy = _best_of(copy, 1)
+        thread = threading.Thread(target=copy)
+        start = time.perf_counter()
+        thread.start()
+        compute()
+        thread.join()
+        t_both = time.perf_counter() - start
+        shorter = min(t_comp, t_copy)
+        if shorter <= 0:
+            continue
+        hidden = (t_comp + t_copy) - t_both
+        best_eff = max(best_eff, hidden / shorter)
+    return float(np.clip(best_eff, 0.0, 1.0))
+
+
+# ---------------------------------------------------------------------------
+# the full suite
+# ---------------------------------------------------------------------------
+
+def measure(budget: ProbeBudget = FULL,
+            name: Optional[str] = None) -> MachineProfile:
+    """Run every probe and assemble the :class:`MachineProfile`."""
+    triad = measure_triad_bandwidth(size=budget.triad_size,
+                                    repeats=budget.triad_repeats)
+    spmv_rates = measure_spmv_rates(budget)
+    rbgs_rates = measure_rbgs_rates(budget)
+    g, latency = fit_message_cost(budget)
+    overlap = measure_overlap_efficiency(budget)
+    return MachineProfile(
+        name=name or platform.node() or "local",
+        created_at=time.time(),
+        host=platform.node() or "unknown",
+        cores=os.cpu_count() or 1,
+        triad_bandwidth=triad,
+        spmv_rates=spmv_rates,
+        rbgs_rates=rbgs_rates,
+        net_bandwidth=g,
+        latency=latency,
+        overlap_efficiency=overlap,
+        fast=budget.name != "full",
+    )

@@ -1,0 +1,224 @@
+"""The persisted, versioned record of a measured machine.
+
+A :class:`MachineProfile` is what the micro-benchmark suite
+(:mod:`repro.tune.microbench`) produces and what every downstream
+consumer reads: ``BSPMachine.from_profile`` prices simulated
+distributed runs with the *measured* memory bandwidth, fitted BSP
+``g``/``L`` and measured overlap efficiency instead of the Table II
+datasheet constants; ``MachineSpec.from_profile`` feeds the
+shared-memory scaling model; and the substrate registry's ``model``
+selection mode divides a matrix's byte stream by the profile's
+measured per-format rates.
+
+Serialisation is canonical JSON — keys sorted, two-space indent, one
+trailing newline — so ``save → load → save`` is byte-identical (the
+round-trip contract ``tests/test_tune.py`` enforces), and the file
+carries an explicit ``schema_version`` so a profile written by an
+incompatible release is rejected cleanly rather than misread.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Optional
+
+from repro.util.errors import InvalidValue
+
+#: Bump on any incompatible change to the on-disk layout.
+SCHEMA_VERSION = 1
+
+#: The matrix-shape grid the SpMV probes cover (and the classes the
+#: model-driven selection maps a :class:`MatrixProfile` onto).
+SHAPE_CLASSES = ("uniform", "highcv", "dense")
+
+
+class ProfileVersionError(InvalidValue):
+    """A profile file's schema version does not match this release."""
+
+
+@dataclass(frozen=True)
+class MachineProfile:
+    """Measured rates of one machine, as captured by ``repro.tune``.
+
+    Rates are *effective* bytes/second over the csr-equivalent byte
+    stream of the probed kernel (``nnz*16 + nrows*16`` for SpMV), so
+    ``useful_bytes / rate`` predicts seconds regardless of how much
+    padding a format physically streams.
+    """
+
+    name: str
+    created_at: float               # unix seconds, stamped at measure time
+    host: str
+    cores: int
+    triad_bandwidth: float          # bytes/s, STREAM-triad
+    #: {provider name: {shape class: effective bytes/s}}
+    spmv_rates: Dict[str, Dict[str, float]]
+    #: {provider name: effective bytes/s of a full RBGS half-sweep}
+    rbgs_rates: Dict[str, float]
+    net_bandwidth: float            # fitted BSP g, bytes/s
+    latency: float                  # fitted BSP L, seconds
+    overlap_efficiency: float       # measured compute-under-copy hiding
+    fast: bool = False              # produced under the --fast CI budget
+    schema_version: int = field(default=SCHEMA_VERSION)
+
+    def __post_init__(self):
+        if self.triad_bandwidth <= 0:
+            raise InvalidValue(
+                f"triad bandwidth must be positive, got {self.triad_bandwidth}"
+            )
+        if self.net_bandwidth <= 0 or self.latency < 0:
+            raise InvalidValue(
+                f"need net_bandwidth > 0 and latency >= 0, got "
+                f"g={self.net_bandwidth}, L={self.latency}"
+            )
+        if not (0.0 <= self.overlap_efficiency <= 1.0):
+            raise InvalidValue(
+                f"overlap efficiency must lie in [0, 1], "
+                f"got {self.overlap_efficiency}"
+            )
+
+    # --- rate lookups -------------------------------------------------------
+    def spmv_rate(self, fmt: str, shape_class: Optional[str] = None) -> float:
+        """Effective SpMV bytes/s of ``fmt`` on a shape class.
+
+        Falls back gracefully: an unprobed shape class gets the
+        geometric mean of the format's probed classes; an unprobed
+        format gets the triad bandwidth (the bandwidth-bound ceiling),
+        so a newly registered provider is priced neutrally rather than
+        crashing selection.
+        """
+        per_shape = self.spmv_rates.get(fmt)
+        if not per_shape:
+            return self.triad_bandwidth
+        if shape_class is not None and shape_class in per_shape:
+            return per_shape[shape_class]
+        prod, count = 1.0, 0
+        for rate in per_shape.values():
+            if rate > 0:
+                prod *= rate
+                count += 1
+        return prod ** (1.0 / count) if count else self.triad_bandwidth
+
+    def rbgs_rate(self, fmt: str) -> float:
+        return self.rbgs_rates.get(fmt, self.triad_bandwidth)
+
+    # --- serialisation ------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+    def dumps(self) -> str:
+        """Canonical JSON text (sorted keys, stable layout, newline-
+        terminated) — the byte-identical re-save contract."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "MachineProfile":
+        if not isinstance(data, dict):
+            raise InvalidValue(f"profile data must be a mapping, got "
+                               f"{type(data).__name__}")
+        version = data.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise ProfileVersionError(
+                f"profile schema version {version!r} does not match this "
+                f"release's {SCHEMA_VERSION}; re-run "
+                f"`python -m repro.tune measure`"
+            )
+        fields = {f for f in cls.__dataclass_fields__}
+        unknown = set(data) - fields
+        if unknown:
+            raise InvalidValue(
+                f"unknown profile keys: {', '.join(sorted(unknown))}"
+            )
+        missing = fields - set(data)
+        if missing:
+            raise InvalidValue(
+                f"profile is missing keys: {', '.join(sorted(missing))}"
+            )
+        return cls(**data)
+
+    @classmethod
+    def loads(cls, text: str) -> "MachineProfile":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise InvalidValue(f"profile is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    def save(self, path: str) -> str:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.dumps())
+        return path
+
+    @classmethod
+    def load(cls, path: str) -> "MachineProfile":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.loads(fh.read())
+
+    # --- presentation -------------------------------------------------------
+    def summary(self) -> str:
+        lines = [
+            f"MachineProfile {self.name!r} (schema v{self.schema_version}, "
+            f"host {self.host}, {self.cores} cores"
+            f"{', fast budget' if self.fast else ''})",
+            f"  triad bandwidth   {self.triad_bandwidth / 1e9:.2f} GB/s",
+            f"  BSP g (net)       {self.net_bandwidth / 1e9:.2f} GB/s",
+            f"  BSP L (latency)   {self.latency * 1e6:.2f} us",
+            f"  overlap efficiency {self.overlap_efficiency:.2f}",
+            "  SpMV effective rates (GB/s):",
+        ]
+        for fmt in sorted(self.spmv_rates):
+            per = self.spmv_rates[fmt]
+            cells = ", ".join(
+                f"{shape}={per[shape] / 1e9:.2f}"
+                for shape in SHAPE_CLASSES if shape in per
+            )
+            lines.append(f"    {fmt:8s} {cells}")
+        if self.rbgs_rates:
+            cells = ", ".join(
+                f"{fmt}={rate / 1e9:.2f}"
+                for fmt, rate in sorted(self.rbgs_rates.items())
+            )
+            lines.append(f"  RBGS effective rates (GB/s): {cells}")
+        return "\n".join(lines)
+
+
+def synthetic_profile(
+    name: str = "synthetic",
+    triad_bandwidth: float = 10e9,
+    net_bandwidth: float = 1e9,
+    latency: float = 10e-6,
+    overlap_efficiency: float = 0.8,
+    spmv_rates: Optional[Dict[str, Dict[str, float]]] = None,
+    rbgs_rates: Optional[Dict[str, float]] = None,
+    fast: bool = True,
+) -> MachineProfile:
+    """A hand-built profile for tests and documentation examples.
+
+    The default per-format rates encode the relative strengths the
+    structure heuristic assumes — blocked fastest on uniform/dense
+    shapes, SELL-C-σ ahead on moderately varying rows, CSR the safe
+    baseline — so model-driven selection with this profile reproduces
+    the heuristic's choices on the reference shapes.
+    """
+    if spmv_rates is None:
+        spmv_rates = {
+            "csr": {"uniform": 4e9, "highcv": 4e9, "dense": 4e9},
+            "sellcs": {"uniform": 5e9, "highcv": 6e9, "dense": 4.5e9},
+            "blocked": {"uniform": 7e9, "highcv": 2e9, "dense": 8e9},
+        }
+    if rbgs_rates is None:
+        rbgs_rates = {"csr": 3e9, "sellcs": 4e9, "blocked": 5e9}
+    return MachineProfile(
+        name=name,
+        created_at=0.0,
+        host="synthetic",
+        cores=1,
+        triad_bandwidth=triad_bandwidth,
+        spmv_rates=spmv_rates,
+        rbgs_rates=rbgs_rates,
+        net_bandwidth=net_bandwidth,
+        latency=latency,
+        overlap_efficiency=overlap_efficiency,
+        fast=fast,
+    )

@@ -44,3 +44,16 @@ class TestCalibrate:
         model = ScalingModel(spec, ALP_PROFILE)
         t = model.time_for_bytes(1e9, Placement(1, 1))
         assert t > 0
+
+    def test_this_machine_reuses_calibration(self, result):
+        """A caller holding a CalibrationResult must not pay for a
+        second triad run: the measured figure is reused verbatim."""
+        spec = this_machine(calibration=result)
+        assert spec.attained_bandwidth == result.triad_bandwidth
+
+    def test_this_machine_accepts_raw_bandwidth(self):
+        spec = this_machine(bandwidth=123.0e9)
+        assert spec.attained_bandwidth == 123.0e9
+        # bandwidth wins over calibration when both are given
+        spec = this_machine(bandwidth=7.0e9, calibration=None)
+        assert spec.attained_bandwidth == 7.0e9
