@@ -1,14 +1,19 @@
 """Kernel micro-benchmarks: ALP (GraphBLAS) vs Ref (raw CSR).
 
 These quantify the abstraction overhead of the Python GraphBLAS layer
-on the three CG kernels and the masked mxv that powers RBGS.
+on the three CG kernels and the masked mxv that powers RBGS, plus —
+provider-parametrized, mirroring ``bench_substrate`` — the fused
+smoother sweep against the reference transcription, so future PRs can
+track the compiled lane per storage format.
 """
 
 import numpy as np
 import pytest
 
 from repro import graphblas as grb
+from repro.graphblas import substrate
 from repro.hpcg.coloring import color_masks, lattice_coloring
+from repro.hpcg.smoothers import RBGSSmoother
 from repro.ref.kernels import compute_dot, compute_spmv, compute_waxpby
 
 
@@ -59,6 +64,48 @@ def bench_mxv_generic_semiring(benchmark, problem16, vectors16):
     """The fully generic gather/segment-reduce path (min-plus)."""
     xg, yg, _, _ = vectors16
     benchmark(grb.mxv, yg, None, problem16.A, xg, semiring=grb.min_plus)
+
+
+# ---------------------------------------------------------------------------
+# provider-parametrized fused-sweep benches (the PR-5 fast path)
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def sweep_setup(problem16):
+    rng = np.random.default_rng(7)
+    return (
+        color_masks(lattice_coloring(problem16.grid)),
+        grb.Vector.from_dense(rng.standard_normal(problem16.n)),
+    )
+
+
+@pytest.mark.parametrize("name", substrate.available())
+def bench_provider_fused_sweep(benchmark, name, problem16, sweep_setup):
+    """One symmetric RBGS pass through the fused fast path, per format,
+    bit-checked against the reference transcription."""
+    masks, r = sweep_setup
+    A = grb.Matrix.from_scipy(problem16.A.to_scipy(), substrate=name)
+    smoother = RBGSSmoother(A, problem16.A_diag, masks, fused=True)
+    assert smoother.fused_active
+    z = grb.Vector.dense(problem16.n, 0.0)
+    benchmark(smoother.smooth, z, r)
+    ref = RBGSSmoother(A, problem16.A_diag, masks, fused=False)
+    z_ref = grb.Vector.dense(problem16.n, 0.0)
+    z_chk = grb.Vector.dense(problem16.n, 0.0)
+    ref.smooth(z_ref, r)
+    RBGSSmoother(A, problem16.A_diag, masks, fused=True).smooth(z_chk, r)
+    assert np.array_equal(z_chk.to_dense(), z_ref.to_dense())
+
+
+@pytest.mark.parametrize("name", substrate.available())
+def bench_provider_reference_sweep(benchmark, name, problem16, sweep_setup):
+    """The same pass through the reference Listing 2/3 transcription —
+    the baseline the fused-vs-reference ratio is measured against."""
+    masks, r = sweep_setup
+    A = grb.Matrix.from_scipy(problem16.A.to_scipy(), substrate=name)
+    smoother = RBGSSmoother(A, problem16.A_diag, masks, fused=False)
+    z = grb.Vector.dense(problem16.n, 0.0)
+    benchmark(smoother.smooth, z, r)
 
 
 def bench_dot_alp(benchmark, problem16, vectors16):

@@ -23,7 +23,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.dist.bsp import ARM_CLUSTER_NODE, BSPMachine
+from repro.dist.bsp import BSPMachine
 from repro.dist.cost import (
     interior_row_mask,
     per_node_interior_color_work,
@@ -63,7 +63,7 @@ class HybridALPRun(SimulatedDistRun):
     backend = "alp-1d"
 
     def __init__(self, problem: Problem, nprocs: int, mg_levels: int = 4,
-                 machine: BSPMachine = ARM_CLUSTER_NODE, block: int = 1,
+                 machine: Optional[BSPMachine] = None, block: int = 1,
                  comm_mode: Optional[str] = None,
                  overlap_efficiency: Optional[float] = None,
                  agglomerate_below: int = 0):

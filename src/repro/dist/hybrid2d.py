@@ -28,7 +28,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.dist.bsp import ARM_CLUSTER_NODE, BSPMachine
+from repro.dist.bsp import BSPMachine
 from repro.dist.partition import Block1D
 from repro.dist.simulate import (
     SimLevel,
@@ -47,7 +47,7 @@ class Hybrid2DRun(SimulatedDistRun):
     backend = "alp-2d"
 
     def __init__(self, problem: Problem, nprocs: int, mg_levels: int = 4,
-                 machine: BSPMachine = ARM_CLUSTER_NODE,
+                 machine: Optional[BSPMachine] = None,
                  comm_mode: Optional[str] = None,
                  overlap_efficiency: Optional[float] = None,
                  agglomerate_below: int = 0):

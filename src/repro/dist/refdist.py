@@ -31,7 +31,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.dist.bsp import ARM_CLUSTER_NODE, BSPMachine
+from repro.dist.bsp import BSPMachine
 from repro.dist.cost import (
     interior_row_mask,
     per_node_interior_color_work,
@@ -65,7 +65,7 @@ class RefDistRun(SimulatedDistRun):
     backend = "ref-3d"
 
     def __init__(self, problem: Problem, nprocs: int, mg_levels: int = 4,
-                 machine: BSPMachine = ARM_CLUSTER_NODE,
+                 machine: Optional[BSPMachine] = None,
                  process_grid: Optional[Tuple[int, int, int]] = None,
                  partition: str = "grid3d",
                  comm_mode: Optional[str] = None,

@@ -108,10 +108,21 @@ class SimulatedDistRun:
     backend = "dist"
 
     def __init__(self, problem: Problem, nprocs: int, mg_levels: int = 4,
-                 machine: BSPMachine = ARM_CLUSTER_NODE,
+                 machine: Optional[BSPMachine] = None,
                  comm_mode: Optional[str] = None,
                  overlap_efficiency: Optional[float] = None,
                  agglomerate_below: int = 0):
+        if machine is None:
+            # no machine pinned: the Table-II ARM preset, but with the
+            # *measured* overlap efficiency when this machine has a
+            # cached tune profile (PR-4 follow-up) — an explicit
+            # machine= or overlap_efficiency= always wins
+            machine = ARM_CLUSTER_NODE
+            if overlap_efficiency is None:
+                from repro.tune import cache as tune_cache
+                profile = tune_cache.current_profile()
+                if profile is not None:
+                    overlap_efficiency = profile.overlap_efficiency
         if nprocs < 1:
             raise InvalidValue(f"need at least one process, got {nprocs}")
         if mg_levels < 1:

@@ -162,7 +162,10 @@ def fusion_ablation(nx: int = 16, sweeps: int = 2) -> FusionResult:
     rng = np.random.default_rng(3)
     r = grb.Vector.from_dense(rng.standard_normal(problem.n))
 
-    base = RBGSSmoother(problem.A, problem.A_diag, colors)
+    # the unfused arm pins the reference transcription — the default
+    # smoother has taken the fused fast path itself since PR 5, which
+    # would make this comparison vacuous
+    base = RBGSSmoother(problem.A, problem.A_diag, colors, fused=False)
     fused = FusedRBGSSmoother(problem.A, problem.A_diag, colors)
 
     z1 = grb.Vector.dense(problem.n, 0.0)

@@ -12,11 +12,12 @@ grid per node).  Paper findings reproduced as shape claims:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.dist import HybridALPRun, RefDistRun, factor3
+from repro.dist.bsp import BSPMachine
 from repro.experiments.common import ascii_series, format_table
 from repro.hpcg.problem import generate_problem
 
@@ -56,14 +57,21 @@ class Fig3Result:
 
 
 def run(local_nx: int = 24, iterations: int = 3,
-        mg_levels: int = 4, nodes: Tuple[int, ...] = NODES) -> Fig3Result:
+        mg_levels: int = 4, nodes: Tuple[int, ...] = NODES,
+        machine: Optional[BSPMachine] = None) -> Fig3Result:
+    """Run the weak-scaling study; ``machine`` prices every node class
+    (default: the Table-II ARM preset via the backends' own default).
+    The ``repro.tune scale`` CLI passes a measured-profile machine here
+    to rerun the study on this machine's numbers."""
     alp_s, ref_s, ns = [], [], []
     for p in nodes:
         px, py, pz = factor3(p)
         problem = generate_problem(local_nx * px, local_nx * py, local_nx * pz)
         ns.append(problem.n)
-        alp = HybridALPRun(problem, nprocs=p, mg_levels=mg_levels)
-        ref = RefDistRun(problem, nprocs=p, mg_levels=mg_levels)
+        alp = HybridALPRun(problem, nprocs=p, mg_levels=mg_levels,
+                           machine=machine)
+        ref = RefDistRun(problem, nprocs=p, mg_levels=mg_levels,
+                         machine=machine)
         alp_s.append(alp.run_cg(max_iters=iterations).modelled_seconds)
         ref_s.append(ref.run_cg(max_iters=iterations).modelled_seconds)
     return Fig3Result(list(nodes), alp_s, ref_s, ns, local_nx, iterations)

@@ -9,13 +9,29 @@ Work singles this out as the main shared-memory headroom.
 
 :func:`fused_masked_mxv_lambda` is that fusion for the exact pattern
 RBGS needs.  It is an *extension*: HPCG code using it is no longer
-portable GraphBLAS, which is why the default smoother does not — it
-exists for the ablation benchmark quantifying what fusion would buy.
+portable GraphBLAS — which is why it lives here, below the operations
+API, and why the smoothers reach it only through the plan objects:
+
+* :class:`ColorSweepPlan` — the default smoother's fast path since the
+  fused-sweep PR: a whole forward-or-backward multi-colour sweep
+  executed by the active provider's prebuilt
+  :class:`~repro.graphblas.substrate.base.ColorSweep` (colour
+  substructures, row partitions and diagonals hoisted to construction,
+  products through the jit lane when numba is available), version-
+  validated against the operator, masks and diagonal, and priced
+  through the provider's fused-traffic hook so collected byte streams
+  stay honest.  ``REPRO_FUSED=0`` (or any unsupported configuration —
+  sparse vectors, non-float64 domains) makes the plan decline, and the
+  smoother falls back to the reference masked-mxv + eWiseLambda
+  transcription, bit for bit.
+* :class:`JacobiSweepPlan` — the same fusion for the damped-Jacobi
+  update (a full product, no mask).
 """
 
 from __future__ import annotations
 
-from typing import Callable
+import os
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
@@ -23,9 +39,24 @@ from repro.graphblas import backend
 from repro.graphblas import descriptor as desc_mod
 from repro.graphblas.matrix import Matrix
 from repro.graphblas.operations import _mask_bool
+from repro.graphblas.substrate.base import ColorSweep
 from repro.graphblas.substrate.csr import CsrProvider
 from repro.graphblas.vector import Vector
 from repro.util.errors import InvalidValue
+
+#: Kill switch for the fused smoother fast path: ``REPRO_FUSED=0``
+#: restores the reference transcription everywhere.
+ENV_FUSED = "REPRO_FUSED"
+
+
+def fused_enabled(default: bool = True) -> bool:
+    """The ``REPRO_FUSED`` switch (on unless explicitly disabled)."""
+    raw = os.environ.get(ENV_FUSED, "").strip().lower()
+    if raw in ("0", "off", "no", "false"):
+        return False
+    if raw in ("1", "on", "yes", "true"):
+        return True
+    return default
 
 
 def fused_masked_mxv_lambda(
@@ -71,6 +102,113 @@ def fused_masked_mxv_lambda(
             "fused_mxv_lambda", rows.size, sub.nnz, flops, nbytes,
             fmt=sub.name,
         )
+
+
+class ColorSweepPlan:
+    """The fused smoother fast path: a provider sweep with caching.
+
+    Binds an operator, its colour masks and its diagonal vector once;
+    :meth:`run` executes a whole forward-or-backward sweep through the
+    active provider's :class:`ColorSweep`, rebuilding it only when the
+    operator, a mask or the diagonal changes (version counters — the
+    same invalidation contract the masked-mxv substructure cache uses).
+
+    :meth:`run` returns ``False`` when the fast path cannot serve the
+    call bit-identically — non-dense vectors, a non-float64 domain, or
+    a provider that opted out of the capability — and the caller is
+    expected to fall back to the reference transcription.
+    """
+
+    def __init__(self, A: Matrix, colors: Sequence[Vector], diag: Vector):
+        if not colors:
+            raise InvalidValue("at least one colour mask is required")
+        self.A = A
+        self.colors: List[Vector] = list(colors)
+        self.diag = diag
+        self._key = None
+        self._sweep: Optional[ColorSweep] = None
+
+    def _current_sweep(self) -> Optional[ColorSweep]:
+        key = (
+            self.A.version,
+            self.A.substrate,   # set_substrate swaps providers silently
+            self.diag.version,
+            tuple(c.version for c in self.colors),
+        )
+        if key != self._key:
+            self._key = key
+            self._sweep = None
+            if (self.A.dtype == np.float64
+                    and self.diag.dtype == np.float64
+                    and self.diag.is_dense()):
+                rows = [np.flatnonzero(c._present) for c in self.colors]
+                self._sweep = self.A.provider().gs_color_sweep(
+                    rows, self.diag._values
+                )
+        return self._sweep
+
+    def run(self, z: Vector, r: Vector, order) -> bool:
+        """Execute one sweep over ``order``; False means "fall back"."""
+        if not fused_enabled():      # the kill switch works per call
+            return False
+        if (z.dtype != np.float64 or r.dtype != np.float64
+                or not z.is_dense() or not r.is_dense()):
+            return False
+        sweep = self._current_sweep()
+        if sweep is None:
+            return False
+        zv, rv = z._values, r._values
+        if backend.active():
+            for k in order:
+                sweep.step(k, zv, rv)
+                flops, nbytes = sweep.traffic[k]
+                backend.record(
+                    "fused_mxv_lambda", sweep.rows[k].size, sweep.nnzs[k],
+                    flops, nbytes, fmt=sweep.fmt,
+                )
+        else:
+            sweep.run(zv, rv, order)
+        z._bump()
+        return True
+
+
+class JacobiSweepPlan:
+    """The fused damped-Jacobi update: ``z += omega * (r - A z) / d``.
+
+    One full provider product straight into the pointwise update — no
+    workspace container round trip — priced through the provider's
+    fused-traffic hook.  Same decline-and-fall-back contract as
+    :class:`ColorSweepPlan`.
+    """
+
+    def __init__(self, A: Matrix, diag: Vector, omega: float):
+        self.A = A
+        self.diag = diag
+        self.omega = omega
+
+    def run(self, z: Vector, r: Vector, sweeps: int) -> bool:
+        if not fused_enabled():      # the kill switch works per call
+            return False
+        if (self.A.dtype != np.float64
+                or z.dtype != np.float64 or r.dtype != np.float64
+                or not z.is_dense() or not r.is_dense()
+                or self.diag.dtype != np.float64
+                or not self.diag.is_dense()):
+            return False
+        prov = self.A.provider()
+        zv, rv, dv = z._values, r._values, self.diag._values
+        omega = self.omega
+        for _ in range(sweeps):
+            s = prov.mxv(zv)
+            zv += omega * (rv - s) / dv
+            if backend.active():
+                flops, nbytes = prov.fused_mxv_traffic(3)
+                backend.record(
+                    "fused_mxv_lambda", self.A.nrows, prov.nnz,
+                    flops, nbytes, fmt=prov.name,
+                )
+        z._bump()
+        return True
 
 
 class FusedRBGSSmoother:

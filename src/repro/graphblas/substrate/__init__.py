@@ -18,10 +18,21 @@ Public surface:
   every unpinned matrix; ``REPRO_SUBSTRATE=model`` or
   ``selection="model"`` prices candidates with the measured
   :mod:`repro.tune` machine profile, falling back to the structure
-  heuristic when none is cached).
+  heuristic when none is cached);
+* :class:`ColorSweep` — the fused multi-colour Gauss-Seidel sweep
+  capability every provider serves (the smoother fast path);
+* :mod:`~repro.graphblas.substrate.jit` — the optional numba-compiled
+  kernel lane that transparently accelerates the providers
+  (``REPRO_JIT=0`` disables; numba absent means pure numpy, bit for
+  bit).
 """
 
-from repro.graphblas.substrate.base import KernelProvider, MatrixProfile
+from repro.graphblas.substrate import jit
+from repro.graphblas.substrate.base import (
+    ColorSweep,
+    KernelProvider,
+    MatrixProfile,
+)
 from repro.graphblas.substrate.blocked import BlockedDenseProvider
 from repro.graphblas.substrate.csr import CsrProvider
 from repro.graphblas.substrate.registry import (
@@ -43,6 +54,8 @@ from repro.graphblas.substrate.sellcs import SellCSigmaProvider
 __all__ = [
     "KernelProvider",
     "MatrixProfile",
+    "ColorSweep",
+    "jit",
     "CsrProvider",
     "SellCSigmaProvider",
     "BlockedDenseProvider",

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import ClassVar, Tuple
+from typing import ClassVar, List, Optional, Sequence, Tuple
 
 import numpy as np
 import scipy.sparse as sp
@@ -175,6 +175,21 @@ class KernelProvider(abc.ABC):
         for the padding it streams.
         """
 
+    # --- fused smoother sweeps ---------------------------------------------
+    def gs_color_sweep(self, color_rows: Sequence[np.ndarray],
+                       diag: np.ndarray) -> Optional["ColorSweep"]:
+        """An optional capability: a prebuilt fused multi-colour
+        Gauss-Seidel sweep over this operator (see :class:`ColorSweep`).
+
+        The base implementation serves every format through its own
+        :meth:`extract_rows` substructures and :meth:`mxv` kernel, so a
+        provider gets the fast path for free; formats with a sharper
+        fused kernel (CSR's compiled colour step) override.  Return
+        ``None`` to opt out — callers fall back to the reference
+        masked-mxv + eWiseLambda transcription.
+        """
+        return ColorSweep(self, color_rows, diag)
+
     def fused_mxv_traffic(self, nvec: int) -> Tuple[int, int]:
         """(flops, bytes) for the fused product+lambda step over ``nvec``
         consumer vectors (:func:`repro.graphblas.fused`).
@@ -196,3 +211,62 @@ class KernelProvider(abc.ABC):
             f"{type(self).__name__}(shape={self.shape}, nnz={self.nnz}, "
             f"stored={self.stored_entries()})"
         )
+
+
+class ColorSweep:
+    """A fused multi-colour Gauss-Seidel sweep, prebuilt for one provider.
+
+    This is the hot path of the paper's centrepiece loop with every
+    per-call cost hoisted to construction time: the per-colour row
+    partitions (contiguous ``int64``), the gathered per-colour
+    diagonals, one same-format substructure per colour (the provider's
+    own :meth:`~KernelProvider.extract_rows`), and the per-colour
+    ``(flops, bytes)`` price from the provider's fused-traffic hook.
+    One :meth:`step` is then a direct gather/scatter:
+
+    1. ``s = (A z)[rows_k]`` — the colour block's product, through the
+       provider's kernel (compiled when the jit lane is available);
+    2. ``z[rows_k] = (r[rows_k] - s + z[rows_k] * d) / d`` — the
+       Listing-3 pointwise update, vectorised over the colour.
+
+    **Bit-exactness**: both phases are exactly what the reference
+    masked-mxv + eWiseLambda transcription executes — same substructure
+    kernel, same per-row accumulation order from ``+0.0``, same update
+    expression, all products read the pre-update ``z`` — so iterates
+    are bit-identical (signed zeros included) for any provider, any
+    colour masks, forward or backward order.
+    """
+
+    def __init__(self, provider: KernelProvider,
+                 color_rows: Sequence[np.ndarray], diag: np.ndarray):
+        self.fmt = provider.name
+        self.rows: List[np.ndarray] = [
+            np.ascontiguousarray(r, dtype=np.int64) for r in color_rows
+        ]
+        self.diags: List[np.ndarray] = [
+            np.ascontiguousarray(diag[r]) for r in self.rows
+        ]
+        self.subs: List[KernelProvider] = [
+            provider.extract_rows(r) for r in self.rows
+        ]
+        self.nnzs: List[int] = [s.nnz for s in self.subs]
+        #: per-colour (flops, bytes) — what the perf layer records per step
+        self.traffic: List[Tuple[int, int]] = [
+            s.fused_mxv_traffic(3) for s in self.subs
+        ]
+
+    @property
+    def ncolors(self) -> int:
+        return len(self.rows)
+
+    def step(self, k: int, z: np.ndarray, r: np.ndarray) -> None:
+        """One colour's fused product + pointwise update, in place."""
+        rows = self.rows[k]
+        d = self.diags[k]
+        s = self.subs[k].mxv(z)
+        z[rows] = (r[rows] - s + z[rows] * d) / d
+
+    def run(self, z: np.ndarray, r: np.ndarray, order) -> None:
+        """A whole forward or backward sweep (``order`` = colour ids)."""
+        for k in order:
+            self.step(k, z, r)

@@ -98,6 +98,12 @@ class BlockedDenseProvider(KernelProvider):
         # dense cells of every block, stored zeros included
         return int((self._widths * self.block_rows).sum())
 
+    # gs_color_sweep: the inherited ColorSweep already serves this
+    # format — each colour's substructure re-blocks that colour's rows
+    # via extract_rows (same block height), so the per-colour dense
+    # mini-GEMVs and their padding pricing describe what the sweep
+    # actually streams.
+
     def mxv_traffic(self) -> Tuple[int, int]:
         cells = self.stored_entries()
         ncols_total = int(self._widths.sum())

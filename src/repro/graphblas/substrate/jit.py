@@ -1,0 +1,134 @@
+"""The optional numba-compiled kernel lane.
+
+The ROADMAP's substrate headroom — *"a numba/cython compiled lane
+kernel for SELL-C-σ"* — realised as a soft dependency: when numba is
+importable (and not disabled via ``REPRO_JIT=0``) the providers route
+their hottest loops through ``@njit``-compiled kernels; otherwise every
+call falls back to the pure-numpy implementations, bit for bit.  Numba
+is never required — this module imports cleanly without it, and
+:func:`available` is the single gate every caller checks.
+
+Three kernels, matching the fast paths the fused smoother sweep needs:
+
+* :func:`csr_mxv` — the CSR product, accumulating each row's partial
+  products left-to-right in ascending column order from ``+0.0`` —
+  the exact loop of scipy's compiled ``csr_matvec``, so results are
+  bit-identical to the reference;
+* :func:`csr_gs_step` — one fused multi-colour Gauss-Seidel colour
+  step (product + pointwise update) over a colour's row block, in two
+  phases (all products from the pre-update ``z``, then all updates) so
+  it is bit-identical to the masked-mxv + eWiseLambda transcription
+  for *arbitrary* colour masks, proper colourings or not;
+* :func:`sell_mxv` — the SELL-C-σ lane product over the provider's
+  packed lane-major gather lists, one compiled pass instead of one
+  vectorised numpy pass per lane.
+
+Compilation is lazy (first call) and per-dtype via numba's dispatcher;
+callers gate on float64 data before entering, matching the dtypes the
+kernels are exercised with.  ``REPRO_JIT`` is read per call so tests
+can flip the lane on and off without reimporting.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+#: Environment kill switch: ``0``/``off``/``no``/``false`` disables the
+#: compiled lane even when numba is importable.
+ENV_VAR = "REPRO_JIT"
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba as _numba
+except ImportError:  # the supported, tested-everywhere configuration
+    _numba = None
+
+_kernels = None
+
+
+def enabled() -> bool:
+    """The ``REPRO_JIT`` switch (default on; numba presence is separate)."""
+    return os.environ.get(ENV_VAR, "").strip().lower() not in (
+        "0", "off", "no", "false"
+    )
+
+
+def available() -> bool:
+    """True when the compiled lane can actually run: numba importable
+    and ``REPRO_JIT`` not switched off."""
+    return _numba is not None and enabled()
+
+
+def _load():
+    """Compile (once) and return the kernel namespace."""
+    global _kernels
+    if _kernels is None:  # pragma: no cover - requires numba
+        njit = _numba.njit
+
+        @njit(fastmath=False)
+        def _csr_mxv(indptr, indices, data, x, out):
+            for i in range(out.shape[0]):
+                acc = 0.0
+                for jj in range(indptr[i], indptr[i + 1]):
+                    acc += data[jj] * x[indices[jj]]
+                out[i] = acc
+
+        @njit(fastmath=False)
+        def _csr_gs_step(indptr, indices, data, rows, diag, z, r, work):
+            nloc = rows.shape[0]
+            # phase 1: every product reads the pre-update z (the masked
+            # mxv semantics — mandatory for bit-exactness under masks
+            # that are not independent sets)
+            for i in range(nloc):
+                acc = 0.0
+                for jj in range(indptr[i], indptr[i + 1]):
+                    acc += data[jj] * z[indices[jj]]
+                work[i] = acc
+            # phase 2: the Listing-3 pointwise update, same expression
+            # shape as the vectorised lambda
+            for i in range(nloc):
+                row = rows[i]
+                d = diag[i]
+                z[row] = (r[row] - work[i] + z[row] * d) / d
+
+        @njit(fastmath=False)
+        def _sell_mxv(lane_rows, lane_entries, data, indices, x, acc):
+            # lane-major order: per permuted row, partial products
+            # accumulate in CSR entry order starting from +0.0
+            for k in range(lane_rows.shape[0]):
+                e = lane_entries[k]
+                acc[lane_rows[k]] += data[e] * x[indices[e]]
+
+        class _Kernels:
+            csr_mxv = staticmethod(_csr_mxv)
+            csr_gs_step = staticmethod(_csr_gs_step)
+            sell_mxv = staticmethod(_sell_mxv)
+
+        _kernels = _Kernels
+    return _kernels
+
+
+def csr_mxv(csr, x: np.ndarray) -> np.ndarray:  # pragma: no cover - numba
+    """``csr @ x`` through the compiled lane (caller gates dtypes)."""
+    out = np.empty(csr.shape[0], dtype=np.float64)
+    _load().csr_mxv(csr.indptr, csr.indices, csr.data, x, out)
+    return out
+
+
+def csr_gs_step(csr, rows: np.ndarray, diag: np.ndarray, z: np.ndarray,
+                r: np.ndarray, work: np.ndarray) -> None:  # pragma: no cover
+    """One fused colour step over the row block ``csr`` (= A[rows, :])."""
+    _load().csr_gs_step(csr.indptr, csr.indices, csr.data, rows, diag,
+                        z, r, work)
+
+
+def sell_mxv(lane_rows: np.ndarray, lane_entries: np.ndarray,
+             data: np.ndarray, indices: np.ndarray, x: np.ndarray,
+             perm: np.ndarray, nrows: int) -> np.ndarray:  # pragma: no cover
+    """The SELL-C-σ lane product over packed lane-major gather lists."""
+    acc = np.zeros(nrows, dtype=np.float64)
+    _load().sell_mxv(lane_rows, lane_entries, data, indices, x, acc)
+    y = np.empty(nrows, dtype=np.float64)
+    y[perm] = acc
+    return y

@@ -22,6 +22,26 @@ from repro.util.timer import null_timer
 Preconditioner = Callable[[grb.Vector, grb.Vector], grb.Vector]
 
 
+class CGWorkspace:
+    """The solver's four work vectors (``r``, ``z``, ``p``, ``Ap``).
+
+    Allocated once and passed to repeated :func:`pcg` calls (the
+    driver's repetition protocol, parameter sweeps, benchmarks) so the
+    per-solve cost is the mathematics, not four fresh allocations —
+    every vector is fully overwritten before it is read, so reuse is
+    state-free.
+    """
+
+    __slots__ = ("n", "r", "z", "p", "Ap")
+
+    def __init__(self, n: int):
+        self.n = n
+        self.r = grb.Vector.dense(n)
+        self.z = grb.Vector.dense(n)
+        self.p = grb.Vector.dense(n)
+        self.Ap = grb.Vector.dense(n)
+
+
 @dataclass
 class CGResult:
     """Outcome of a CG solve."""
@@ -46,22 +66,28 @@ def pcg(
     max_iters: int = 50,
     tolerance: float = 0.0,
     timers=null_timer,
+    workspace: Optional[CGWorkspace] = None,
 ) -> CGResult:
     """Solve ``A x = b`` from initial guess ``x`` (updated in place).
 
     With ``tolerance=0`` runs exactly ``max_iters`` iterations — HPCG's
     timed mode, where the iteration count is fixed so execution times
-    are directly comparable (paper Section V).
+    are directly comparable (paper Section V).  Pass a
+    :class:`CGWorkspace` to reuse the solver vectors across repeated
+    calls instead of reallocating them per solve.
     """
     n = A.nrows
     if b.size != n or x.size != n:
         raise DimensionMismatch(
             f"CG sizes: A {A.shape}, b {b.size}, x {x.size}"
         )
-    r = grb.Vector.dense(n)
-    z = grb.Vector.dense(n)
-    p = grb.Vector.dense(n)
-    Ap = grb.Vector.dense(n)
+    if workspace is None:
+        workspace = CGWorkspace(n)
+    elif workspace.n != n:
+        raise DimensionMismatch(
+            f"workspace size {workspace.n} != operator size {n}"
+        )
+    r, z, p, Ap = workspace.r, workspace.z, workspace.p, workspace.Ap
 
     with timers.measure("cg/spmv"), grb.backend.labelled("spmv"):
         grb.mxv(Ap, None, A, x)

@@ -22,7 +22,7 @@ from typing import Dict, List, Optional
 
 from repro import graphblas as grb
 from repro.hpcg import flops as flops_mod
-from repro.hpcg.cg import CGResult, pcg
+from repro.hpcg.cg import CGResult, CGWorkspace, pcg
 from repro.hpcg.multigrid import MGLevel, MGPreconditioner, build_hierarchy
 from repro.hpcg.problem import Problem, generate_problem
 from repro.hpcg.symmetry import SymmetryReport, validate
@@ -160,8 +160,13 @@ def run_hpcg(
         raise ValueError(f"repetitions must be >= 1, got {repetitions}")
     repetition_seconds: List[float] = []
     cg_result = None
+    workspace = CGWorkspace(problem.n)   # shared across repetitions
+    x = None
     for _ in range(repetitions):
-        x = problem.x0.dup()
+        if x is None:
+            x = problem.x0.dup()
+        else:
+            grb.assign(x, None, problem.x0)      # x <- x0, same storage
         t1 = time.perf_counter()
         cg_result = pcg(
             problem.A, problem.b, x,
@@ -169,6 +174,7 @@ def run_hpcg(
             max_iters=max_iters,
             tolerance=tolerance,
             timers=timers,
+            workspace=workspace,
         )
         repetition_seconds.append(time.perf_counter() - t1)
     run_seconds = sum(repetition_seconds) / len(repetition_seconds)

@@ -68,12 +68,18 @@ def build_hierarchy(
     levels: int = 4,
     smoother_factory: Optional[SmootherFactory] = None,
     coloring_scheme: str = "auto",
+    fused: Optional[bool] = None,
 ) -> MGLevel:
     """Build an ``levels``-deep hierarchy under ``problem``'s fine grid.
 
     Raises when the grid cannot be coarsened ``levels - 1`` times (every
     dimension must be divisible by ``2**(levels-1)``, the reference
     HPCG requirement).
+
+    ``fused`` pins the default smoothers' fast path per hierarchy
+    (``None`` follows ``REPRO_FUSED``; ``False`` is the reference
+    transcription baseline the perf benchmarks compare against); it is
+    ignored when an explicit ``smoother_factory`` is given.
     """
     if levels < 1:
         raise InvalidValue(f"need at least one level, got {levels}")
@@ -83,7 +89,8 @@ def build_hierarchy(
             f"{problem.grid.max_mg_levels()} MG levels, requested {levels}"
         )
     if smoother_factory is None:
-        smoother_factory = RBGSSmoother
+        def smoother_factory(A, A_diag, colors):
+            return RBGSSmoother(A, A_diag, colors, fused=fused)
     stencil = getattr(problem, "stencil", "27pt")
     # honour the problem's substrate pin on every coarse operator; None
     # leaves each level to the per-matrix heuristic (the coarse levels

@@ -13,12 +13,25 @@ transcribing Listings 2 and 3:
 Colours are processed sequentially to honour inter-colour dependencies;
 within one colour everything is data-parallel (here: vectorised).
 
-The smoothers are *substrate-agnostic* by construction: they name only
-GraphBLAS operations, so whichever kernel provider the matrix's
-substrate selection picked (CSR, SELL-C-σ, dense-blocked — see
-:mod:`repro.graphblas.substrate`) executes the masked products, with
-bit-identical iterates.  The substrate equivalence suite pins each
-provider and asserts exactly that.
+**The fused fast path.**  Executing that transcription literally pays
+mask materialisation, row re-extraction, a workspace round trip and
+several layers of Python dispatch per colour × sweep × MG level × CG
+iteration.  Since the fused-sweep PR the smoother therefore runs whole
+sweeps through :class:`repro.graphblas.fused.ColorSweepPlan` — the
+active substrate provider's prebuilt
+:class:`~repro.graphblas.substrate.base.ColorSweep`, with per-colour
+row partitions, substructures and diagonals hoisted to construction
+and products on the compiled jit lane when numba is available.  The
+fast path is *bit-identical* to the transcription (same kernels, same
+accumulation order — ``tests/test_fused_smoother.py`` proves it per
+provider, colouring and sweep order) and declines whenever it cannot
+be: ``REPRO_FUSED=0``, an explicit ``fused=False``, sparse vectors or
+non-float64 domains all fall back to the literal Listing 2/3 path.
+
+The smoothers stay *substrate-agnostic*: both paths execute whichever
+kernel provider the matrix's substrate selection picked (CSR,
+SELL-C-σ, dense-blocked — see :mod:`repro.graphblas.substrate`), with
+bit-identical iterates.
 
 A damped Jacobi smoother is provided for the smoother-choice ablation;
 it is *not* HPCG-legal (fails the symmetry requirement less strictly
@@ -28,11 +41,12 @@ such.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro import graphblas as grb
+from repro.graphblas import fused as fused_mod
 from repro.util.errors import DimensionMismatch, InvalidValue
 
 
@@ -42,6 +56,14 @@ class RBGSSmoother:
     One ``smooth`` call performs a forward sweep (colours in increasing
     order) followed by a backward sweep (decreasing order) — the
     symmetric variant HPCG requires of its smoother.
+
+    ``fused`` selects the fast path: ``None`` (default) follows the
+    ``REPRO_FUSED`` environment switch, ``False`` pins the reference
+    Listing 2/3 transcription (the ablation baseline), ``True`` arms
+    the fused plan.  An armed plan still falls back per call — when it
+    cannot serve the request bit-identically (sparse vectors,
+    non-float64 domains), and whenever ``REPRO_FUSED=0`` is set at
+    call time (the kill switch works on already-built smoothers too).
     """
 
     def __init__(
@@ -49,6 +71,7 @@ class RBGSSmoother:
         A: grb.Matrix,
         A_diag: grb.Vector,
         colors: Sequence[grb.Vector],
+        fused: Optional[bool] = None,
     ):
         if A.nrows != A.ncols:
             raise InvalidValue("smoother requires a square operator")
@@ -67,10 +90,21 @@ class RBGSSmoother:
         # Workspace for the masked products; allocated once, like the
         # explicit `tmp` buffer of Listing 3.
         self._tmp = grb.Vector.dense(A.nrows)
+        use_fused = fused_mod.fused_enabled() if fused is None else fused
+        self._plan = (
+            fused_mod.ColorSweepPlan(A, self.colors, A_diag)
+            if use_fused else None
+        )
 
     @property
     def n(self) -> int:
         return self.A.nrows
+
+    @property
+    def fused_active(self) -> bool:
+        """True when the fused fast path is armed (it may still fall
+        back per call on configurations it cannot serve)."""
+        return self._plan is not None
 
     @staticmethod
     def _pointwise(idx: np.ndarray, z: np.ndarray, r: np.ndarray,
@@ -80,6 +114,8 @@ class RBGSSmoother:
         z[idx] = (r[idx] - s[idx] + z[idx] * dd) / dd
 
     def _sweep(self, z: grb.Vector, r: grb.Vector, order) -> None:
+        if self._plan is not None and self._plan.run(z, r, order):
+            return
         for k in order:
             mask = self.colors[k]
             grb.mxv(self._tmp, mask, self.A, z, desc=grb.descriptors.structural)
@@ -117,22 +153,36 @@ class JacobiSmoother:
     """Damped Jacobi: ``z += omega * D^-1 (r - A z)``.
 
     Fully parallel (no colouring needed) but a weaker smoother; kept for
-    the ablation study comparing smoother choices.
+    the ablation study comparing smoother choices.  Takes the fused
+    product+update fast path under the same ``fused``/``REPRO_FUSED``
+    contract as :class:`RBGSSmoother`.
     """
 
-    def __init__(self, A: grb.Matrix, A_diag: grb.Vector, omega: float = 2.0 / 3.0):
+    def __init__(self, A: grb.Matrix, A_diag: grb.Vector,
+                 omega: float = 2.0 / 3.0, fused: Optional[bool] = None):
         if not 0 < omega <= 1.0:
             raise InvalidValue(f"damping factor must be in (0, 1], got {omega}")
         self.A = A
         self.A_diag = A_diag
         self.omega = omega
         self._tmp = grb.Vector.dense(A.nrows)
+        use_fused = fused_mod.fused_enabled() if fused is None else fused
+        self._plan = (
+            fused_mod.JacobiSweepPlan(A, A_diag, omega)
+            if use_fused else None
+        )
 
     @property
     def n(self) -> int:
         return self.A.nrows
 
+    @property
+    def fused_active(self) -> bool:
+        return self._plan is not None
+
     def smooth(self, z: grb.Vector, r: grb.Vector, sweeps: int = 1) -> grb.Vector:
+        if self._plan is not None and self._plan.run(z, r, sweeps):
+            return z
         omega = self.omega
 
         def update(idx, zv, rv, sv, dv):

@@ -6,7 +6,9 @@ Subcommands:
   (``--fast`` is the CI budget, well under a minute; ``--smoke`` is
   the seconds-long test budget);
 * ``show`` — print the cached profile;
-* ``clear`` — delete the cached profile.
+* ``clear`` — delete the cached profile;
+* ``scale`` — rerun the Figure 3 weak-scaling study with the BSP node
+  priced by the measured profile, against the Table-II preset.
 
 The cache location is ``$REPRO_TUNE_CACHE`` (default
 ``~/.cache/repro/tune``); ``measure --out`` writes anywhere.
@@ -51,6 +53,31 @@ def _cmd_show(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scale(args: argparse.Namespace) -> int:
+    try:
+        profile = cache.load_profile(path=args.path)
+    except (InvalidValue, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    try:
+        nodes = tuple(int(tok) for tok in args.nodes.split(",") if tok)
+    except ValueError:
+        print(f"error: --nodes must be a comma-separated list of ints, "
+              f"got {args.nodes!r}", file=sys.stderr)
+        return 1
+    from repro.tune import scale
+
+    start = time.perf_counter()
+    comp = scale.run_scale(
+        profile, preset=args.preset, local_nx=args.local_nx,
+        iterations=args.iters, mg_levels=args.mg_levels, nodes=nodes,
+    )
+    print(scale.render(comp))
+    print(f"\nswept {len(nodes)} node counts twice in "
+          f"{time.perf_counter() - start:.1f}s")
+    return 0
+
+
 def _cmd_clear(args: argparse.Namespace) -> int:
     path = args.path or cache.profile_path()
     if cache.clear(path=args.path):
@@ -86,6 +113,26 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_show.add_argument("--path", default=None,
                         help="read from here instead of the cache location")
     p_show.set_defaults(func=_cmd_show)
+
+    p_scale = sub.add_parser(
+        "scale",
+        help="rerun the Figure 3 weak-scaling study on the measured "
+             "profile vs the Table-II preset")
+    p_scale.add_argument("--local-nx", type=int, default=16,
+                         help="per-node grid edge (default 16; the paper "
+                              "runs max-memory local problems)")
+    p_scale.add_argument("--iters", type=int, default=2,
+                         help="CG iterations per run (default 2)")
+    p_scale.add_argument("--mg-levels", type=int, default=4)
+    p_scale.add_argument("--nodes", default="2,3,4,5,6,7",
+                         help="comma-separated node counts "
+                              "(default 2,3,4,5,6,7)")
+    p_scale.add_argument("--preset", choices=("arm", "x86"), default="arm",
+                         help="the Table-II baseline to compare against")
+    p_scale.add_argument("--path", default=None,
+                         help="read the profile from here instead of the "
+                              "cache location")
+    p_scale.set_defaults(func=_cmd_scale)
 
     p_clear = sub.add_parser("clear", help="delete the cached profile")
     p_clear.add_argument("--path", default=None,

@@ -472,3 +472,94 @@ class TestCli:
         assert main(["measure", "--smoke", "--out", out_path]) == 0
         capsys.readouterr()
         assert MachineProfile.load(out_path).schema_version == SCHEMA_VERSION
+
+    def test_scale_without_profile_errors(self, tmp_cache, capsys):
+        from repro.tune.__main__ import main
+
+        assert main(["scale"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_scale_smoke(self, tmp_cache, capsys):
+        from repro.tune.__main__ import main
+
+        cache.save_profile(synthetic_profile())
+        rc = main(["scale", "--local-nx", "8", "--iters", "1",
+                   "--mg-levels", "2", "--nodes", "2,3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Ref profile/preset" in out
+        assert "shape claims (preset):" in out
+        assert "shape claims (profile):" in out
+
+    def test_scale_bad_nodes(self, tmp_cache, capsys):
+        from repro.tune.__main__ import main
+
+        cache.save_profile(synthetic_profile())
+        assert main(["scale", "--nodes", "two,three"]) == 1
+        assert "comma-separated" in capsys.readouterr().err
+
+
+class TestScaleComparison:
+    def test_pricing_differs_numerics_do_not(self, tmp_cache):
+        """The two sweeps run identical problems; only the machine
+        pricing moves the seconds."""
+        from repro.tune import scale
+
+        prof = synthetic_profile()
+        comp = scale.run_scale(prof, local_nx=8, iterations=1,
+                               mg_levels=2, nodes=(2, 3))
+        assert comp.preset.ns == comp.measured.ns
+        assert comp.measured_machine.mem_bandwidth == prof.triad_bandwidth
+        # the synthetic profile is a far slower machine than Table II
+        for pre, mea in zip(comp.preset.ref_seconds,
+                            comp.measured.ref_seconds):
+            assert mea > pre
+
+    def test_unknown_preset_rejected(self):
+        from repro.tune import scale
+
+        with pytest.raises(InvalidValue):
+            scale.run_scale(synthetic_profile(), preset="riscv")
+
+
+class TestDistProfilePull:
+    """PR-4 follow-up: unpinned simulated runs read the cached
+    profile's measured overlap efficiency automatically."""
+
+    def test_unpinned_run_pulls_overlap_efficiency(self, tmp_cache,
+                                                   problem8):
+        cache.save_profile(synthetic_profile(overlap_efficiency=0.37))
+        run = RefDistRun(problem8, nprocs=2, mg_levels=2)
+        assert run.machine.overlap_efficiency == 0.37
+
+    def test_no_profile_keeps_preset(self, tmp_cache, problem8):
+        run = RefDistRun(problem8, nprocs=2, mg_levels=2)
+        assert run.machine.overlap_efficiency == 1.0
+
+    def test_explicit_machine_wins(self, tmp_cache, problem8):
+        from repro.dist.bsp import ARM_CLUSTER_NODE
+
+        cache.save_profile(synthetic_profile(overlap_efficiency=0.37))
+        run = RefDistRun(problem8, nprocs=2, mg_levels=2,
+                         machine=ARM_CLUSTER_NODE)
+        assert run.machine.overlap_efficiency == 1.0
+
+    def test_explicit_efficiency_wins(self, tmp_cache, problem8):
+        cache.save_profile(synthetic_profile(overlap_efficiency=0.37))
+        run = RefDistRun(problem8, nprocs=2, mg_levels=2,
+                         overlap_efficiency=0.5)
+        assert run.machine.overlap_efficiency == 0.5
+
+    def test_pulled_efficiency_prices_overlap_mode(self, tmp_cache,
+                                                   problem8):
+        """Residuals stay bit-identical; only the pricing moves."""
+        cache.save_profile(synthetic_profile(overlap_efficiency=0.37))
+        pulled = RefDistRun(problem8, nprocs=2, mg_levels=2,
+                            comm_mode="overlap")
+        pinned = RefDistRun(problem8, nprocs=2, mg_levels=2,
+                            comm_mode="overlap", overlap_efficiency=1.0)
+        res_pulled = pulled.run_cg(max_iters=2)
+        res_pinned = pinned.run_cg(max_iters=2)
+        assert res_pulled.residuals == res_pinned.residuals
+        assert (res_pulled.hidden_comm_seconds
+                < res_pinned.hidden_comm_seconds)
