@@ -136,6 +136,32 @@ class BSPMachine:
         """Seconds for a purely local operation (no barrier, no network)."""
         return work_bytes / self.mem_bandwidth
 
+    def superstep_costs(self, work_bytes: float, h_bytes: float,
+                        overlap_bytes: float = 0.0,
+                        overlap_efficiency: Optional[float] = None
+                        ) -> dict:
+        """Every component of one superstep's price, in one pass.
+
+        Returns ``{"work", "comm_full", "comm_exposed", "comm_hidden",
+        "total"}`` (seconds).  ``total`` equals :meth:`superstep_time`
+        and ``comm_full == comm_exposed + comm_hidden`` by
+        construction — the decomposition the split-phase engine ticks
+        into its timers and the observability layer attaches to
+        superstep spans.
+        """
+        work = self.work_time(work_bytes)
+        comm_full = self.comm_time(h_bytes)
+        hidden = self.hidden_comm_time(h_bytes, overlap_bytes,
+                                       overlap_efficiency)
+        exposed = comm_full - hidden
+        return {
+            "work": work,
+            "comm_full": comm_full,
+            "comm_exposed": exposed,
+            "comm_hidden": hidden,
+            "total": work + exposed,
+        }
+
 
 # Table II nodes: attained STREAM bandwidths, shared 100 Gb/s fabric.
 X86_NODE = BSPMachine(

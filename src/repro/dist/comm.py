@@ -38,6 +38,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.util.errors import InvalidValue
 
 #: Recognised communication modes for executors and simulated runs.
@@ -277,6 +278,13 @@ class CommTracker:
         self.supersteps.append(stats)
         if label is not None:
             self.label_syncs[label] = self.label_syncs.get(label, 0) + 1
+        if obs.enabled():
+            obs.event("comm/wait", "comm", {
+                "index": stats.index, "label": label, "h": stats.h,
+                "bytes": stats.total_bytes, "messages": stats.messages,
+                "posted": True,
+                "overlapped_work": stats.overlapped_work,
+            })
         return stats
 
     @property
@@ -298,6 +306,12 @@ class CommTracker:
         if label is not None:
             self.label_syncs[label] = self.label_syncs.get(label, 0) + 1
         self._reset_pending()
+        if obs.enabled():
+            obs.event("comm/sync", "comm", {
+                "index": stats.index, "label": label, "h": stats.h,
+                "bytes": stats.total_bytes, "messages": stats.messages,
+                "posted": False,
+            })
         return stats
 
     # --- aggregates ---------------------------------------------------------

@@ -46,6 +46,12 @@ class DistRunResult:
     #: labels — kept apart from ``timers`` so kernel-share reports
     #: still sum to ``modelled_seconds``
     comm_timers: Optional[TimerRegistry] = None
+    #: run-provenance manifest (:mod:`repro.obs.manifest`), attached
+    #: when observability was enabled during the run; None otherwise
+    manifest: Optional[Dict] = None
+    #: compact per-run metrics dict (supersteps, comm bytes/seconds by
+    #: exposure) attached under the same condition
+    metrics: Optional[Dict] = None
 
     @property
     def final_residual(self) -> float:

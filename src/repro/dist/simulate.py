@@ -57,6 +57,7 @@ from typing import List, Optional
 import numpy as np
 import scipy.sparse as sp
 
+from repro import obs
 from repro.dist.bsp import ARM_CLUSTER_NODE, BSPMachine
 from repro.dist.comm import CommTracker, resolve_comm_mode
 from repro.dist.cost import (
@@ -190,6 +191,10 @@ class SimulatedDistRun:
         self._seconds = 0.0
         self._comm_seconds = 0.0
         self._exposed_comm_seconds = 0.0
+        # observability taps, armed per run_cg (None when tracing is off)
+        self._m_supersteps = None
+        self._m_h = None
+        self._m_comm = None
 
     # --- backend hooks -------------------------------------------------------
     def _init_level_comm(self, level: SimLevel) -> None:
@@ -245,16 +250,30 @@ class SimulatedDistRun:
 
     def _tick_superstep(self, key: str, work_bytes: float, h: int,
                         overlap_bytes: float = 0.0) -> None:
-        self._tick(key, self.machine.superstep_time(
-            work_bytes, h, overlap_bytes))
+        costs = self.machine.superstep_costs(work_bytes, h, overlap_bytes)
+        self._tick(key, costs["total"])
         # wire-time accounting lives in its own registry so the main
         # timers' report() shares still sum to modelled_seconds
-        full = self.machine.comm_time(h)
-        exposed = self.machine.exposed_comm_time(h, overlap_bytes)
-        self._comm_seconds += full
-        self._exposed_comm_seconds += exposed
-        self.comm_timers.tick(f"full/{key}", full)
-        self.comm_timers.tick(f"exposed/{key}", exposed)
+        self._comm_seconds += costs["comm_full"]
+        self._exposed_comm_seconds += costs["comm_exposed"]
+        self.comm_timers.tick(f"full/{key}", costs["comm_full"])
+        self.comm_timers.tick(f"exposed/{key}", costs["comm_exposed"])
+        with obs.span(f"superstep/{key}", "dist") as sp:
+            if sp is not None:
+                sp.tick(costs["total"])
+                sp.set(
+                    h=h, work_bytes=work_bytes, mode=self.comm_mode,
+                    overlapped=overlap_bytes > 0,
+                    comm_full=costs["comm_full"],
+                    comm_exposed=costs["comm_exposed"],
+                    comm_hidden=costs["comm_hidden"],
+                )
+        if self._m_supersteps is not None:
+            self._m_supersteps.inc(1, mode=self.comm_mode)
+            self._m_h.observe(h)
+            self._m_comm.inc(costs["comm_full"], kind="full")
+            self._m_comm.inc(costs["comm_exposed"], kind="exposed")
+            self._m_comm.inc(costs["comm_hidden"], kind="hidden")
 
     def _tick_local(self, key: str, work_bytes: float) -> None:
         self._tick(key, self.machine.work_time(work_bytes))
@@ -341,35 +360,46 @@ class SimulatedDistRun:
 
     def _vcycle(self, li: int, z: np.ndarray, r: np.ndarray) -> np.ndarray:
         level = self.levels[li]
-        self._smooth(level, z, r, sweeps=1)          # pre-smoothing
-        if li + 1 == len(self.levels):
-            return z
-        coarse = self.levels[li + 1]
-        f = self._spmv(level, z, "mg_spmv", f"mg/L{li}/spmv")
-        f *= -1.0
-        f += 1.0 * r                                  # f <- r - A z
-        rc = f[level.injection].copy()                # restrict (injection)
-        if coarse.agglomerated:
-            if level.agglomerated:
-                # both levels already sit on node 0: a local copy
-                self._tick_local(f"mg/L{li}/restrict",
-                                 _RESTRICT_COPY_BYTES * coarse.n)
+        with obs.span(f"mg/L{li}", "mg",
+                      {"level": li, "n": level.n,
+                       "agglomerated": level.agglomerated}) as sp:
+            modelled_before = self._seconds
+            self._smooth(level, z, r, sweeps=1)      # pre-smoothing
+            if li + 1 == len(self.levels):
+                if sp is not None:
+                    sp.tick(self._seconds - modelled_before)
+                return z
+            coarse = self.levels[li + 1]
+            f = self._spmv(level, z, "mg_spmv", f"mg/L{li}/spmv")
+            f *= -1.0
+            f += 1.0 * r                              # f <- r - A z
+            rc = f[level.injection].copy()            # restrict (injection)
+            if coarse.agglomerated:
+                if level.agglomerated:
+                    # both levels already sit on node 0: a local copy
+                    self._tick_local(f"mg/L{li}/restrict",
+                                     _RESTRICT_COPY_BYTES * coarse.n)
+                else:
+                    self._agg_gather(level, coarse)
             else:
-                self._agg_gather(level, coarse)
-        else:
-            self._restrict_comm(level, coarse)
-        zc = np.zeros(coarse.n)
-        self._vcycle(li + 1, zc, rc)
-        z[level.injection] += zc                      # refine-and-add
-        if coarse.agglomerated:
-            if level.agglomerated:
-                self._tick_local(f"mg/L{li}/prolong",
-                                 _RESTRICT_COPY_BYTES * coarse.n)
+                self._restrict_comm(level, coarse)
+            zc = np.zeros(coarse.n)
+            self._vcycle(li + 1, zc, rc)
+            z[level.injection] += zc                  # refine-and-add
+            if coarse.agglomerated:
+                if level.agglomerated:
+                    self._tick_local(f"mg/L{li}/prolong",
+                                     _RESTRICT_COPY_BYTES * coarse.n)
+                else:
+                    self._agg_scatter(level, coarse)
             else:
-                self._agg_scatter(level, coarse)
-        else:
-            self._prolong_comm(level, coarse)
-        self._smooth(level, z, r, sweeps=1)           # post-smoothing
+                self._prolong_comm(level, coarse)
+            self._smooth(level, z, r, sweeps=1)       # post-smoothing
+            if sp is not None:
+                # modelled time at this level *includes* coarser levels
+                # (they execute within this span's dynamic extent, just
+                # like the span nesting shows)
+                sp.tick(self._seconds - modelled_before)
         return z
 
     def _precondition(self, r: np.ndarray) -> np.ndarray:
@@ -392,56 +422,89 @@ class SimulatedDistRun:
         self._seconds = 0.0
         self._comm_seconds = 0.0
         self._exposed_comm_seconds = 0.0
+        registry = obs.metrics_registry()
+        self._m_supersteps = self._m_h = self._m_comm = None
+        res_series = None
+        if registry is not None:
+            self._m_supersteps = registry.counter(
+                "dist_supersteps_total", "BSP supersteps closed")
+            self._m_h = registry.series(
+                "dist_h_relation", "h-relation bytes per superstep")
+            self._m_comm = registry.counter(
+                "dist_comm_seconds",
+                "modelled wire seconds by exposure (full/exposed/hidden)")
+            res_series = registry.series(
+                "dist_cg_residual",
+                "simulated CG residual 2-norm per iteration")
         level0 = self.levels[0]
         n = self.n
         b = self.problem.b.to_dense()
         x = self.problem.x0.to_dense()
 
-        Ap = self._spmv(level0, x, "spmv", "cg/spmv")
-        r = np.multiply(b, 1.0)
-        r += -1.0 * Ap                                 # r <- b - A x
-        self._waxpby_cost(n)
-        normr0 = normr = self._norm(r)
-        residuals = [normr]
+        run_span = obs.span("dist/run_cg", "dist", {
+            "backend": self.backend, "nprocs": self.nprocs, "n": n,
+            "mode": self.comm_mode, "machine": self.machine.name,
+            "mg_levels": self.mg_levels,
+        })
+        with run_span as rsp:
+            Ap = self._spmv(level0, x, "spmv", "cg/spmv")
+            r = np.multiply(b, 1.0)
+            r += -1.0 * Ap                             # r <- b - A x
+            self._waxpby_cost(n)
+            normr0 = normr = self._norm(r)
+            residuals = [normr]
+            if res_series is not None:
+                res_series.observe(normr, backend=self.backend)
 
-        iterations = 0
-        if normr0 != 0.0:
-            rtz = 0.0
-            p = np.empty(n)
-            for k in range(1, max_iters + 1):
-                if tolerance > 0 and normr / normr0 <= tolerance:
-                    break
-                if use_mg:
-                    z = self._precondition(r)          # z <- M r
-                else:
-                    z = np.multiply(r, 1.0)
-                    z += 0.0 * r                       # z <- r
-                    self._waxpby_cost(n)
-                if k == 1:
-                    np.multiply(z, 1.0, out=p)
-                    p += 0.0 * z                       # p <- z
-                    self._waxpby_cost(n)
-                    rtz = self._dot(r, z)
-                else:
-                    rtz_old = rtz
-                    rtz = self._dot(r, z)
-                    beta = rtz / rtz_old
-                    p *= beta
-                    p += 1.0 * z                       # p <- z + beta p
-                    self._waxpby_cost(n)
-                Ap = self._spmv(level0, p, "spmv", "cg/spmv")
-                pAp = self._dot(p, Ap)
-                alpha = rtz / pAp
-                x *= 1.0
-                x += alpha * p                         # x <- x + alpha p
-                self._waxpby_cost(n)
-                r *= 1.0
-                r += -alpha * Ap                       # r <- r - alpha Ap
-                self._waxpby_cost(n)
-                normr = self._norm(r)
-                residuals.append(normr)
-                iterations = k
+            iterations = 0
+            if normr0 != 0.0:
+                rtz = 0.0
+                p = np.empty(n)
+                for k in range(1, max_iters + 1):
+                    if tolerance > 0 and normr / normr0 <= tolerance:
+                        break
+                    with obs.span("cg/iteration", "cg", {"k": k}) as sp:
+                        modelled_before = self._seconds
+                        if use_mg:
+                            z = self._precondition(r)  # z <- M r
+                        else:
+                            z = np.multiply(r, 1.0)
+                            z += 0.0 * r               # z <- r
+                            self._waxpby_cost(n)
+                        if k == 1:
+                            np.multiply(z, 1.0, out=p)
+                            p += 0.0 * z               # p <- z
+                            self._waxpby_cost(n)
+                            rtz = self._dot(r, z)
+                        else:
+                            rtz_old = rtz
+                            rtz = self._dot(r, z)
+                            beta = rtz / rtz_old
+                            p *= beta
+                            p += 1.0 * z               # p <- z + beta p
+                            self._waxpby_cost(n)
+                        Ap = self._spmv(level0, p, "spmv", "cg/spmv")
+                        pAp = self._dot(p, Ap)
+                        alpha = rtz / pAp
+                        x *= 1.0
+                        x += alpha * p                 # x <- x + alpha p
+                        self._waxpby_cost(n)
+                        r *= 1.0
+                        r += -alpha * Ap               # r <- r - alpha Ap
+                        self._waxpby_cost(n)
+                        normr = self._norm(r)
+                        if sp is not None:
+                            sp.set(normr=normr)
+                            sp.tick(self._seconds - modelled_before)
+                    residuals.append(normr)
+                    if res_series is not None:
+                        res_series.observe(normr, backend=self.backend)
+                    iterations = k
+            if rsp is not None:
+                rsp.set(iterations=iterations)
+                rsp.tick(self._seconds)
 
+        manifest, run_metrics = self._obs_attachments(iterations)
         return DistRunResult(
             backend=self.backend,
             nprocs=self.nprocs,
@@ -457,4 +520,34 @@ class SimulatedDistRun:
             exposed_comm_seconds=self._exposed_comm_seconds,
             comm_timers=self.comm_timers,
             machine=self.machine.name,
+            manifest=manifest,
+            metrics=run_metrics,
         )
+
+    def _obs_attachments(self, iterations: int):
+        """Manifest + compact metrics for the result (None when off)."""
+        if not obs.enabled():
+            return None, None
+        recorder = obs.manifest_recorder()
+        recorder.record_config(dist={
+            "backend": self.backend,
+            "nprocs": self.nprocs,
+            "mg_levels": self.mg_levels,
+            "machine": self.machine.name,
+            "comm_mode": self.comm_mode,
+            "overlap_efficiency": self.overlap_efficiency,
+            "agglomerate_below": self.agglomerate_below,
+        })
+        manifest = obs.current().build_manifest()
+        run_metrics = {
+            "supersteps": self.tracker.num_syncs,
+            "comm_bytes": self.tracker.total_bytes,
+            "total_h": self.tracker.total_h,
+            "modelled_seconds": self._seconds,
+            "comm_seconds": self._comm_seconds,
+            "exposed_comm_seconds": self._exposed_comm_seconds,
+            "hidden_comm_seconds": (
+                self._comm_seconds - self._exposed_comm_seconds),
+            "iterations": iterations,
+        }
+        return manifest, run_metrics

@@ -37,16 +37,23 @@ _label_stack: List[str] = []
 
 
 def record(op: str, rows: int, nnz: int, flops: int, nbytes: int,
-           fmt: str = "") -> None:
+           fmt: str = "", label: Optional[str] = None) -> None:
     """Emit an event to the installed collector (no-op when absent).
 
     ``fmt`` names the substrate provider that executed the operation;
     matrix-touching ops pass it so the perf layer can price and break
     down a run per storage format, not just per kernel.
+
+    ``label`` is a *fallback* tag: an enclosing :func:`labelled` scope
+    always wins (so kernel attribution streams are unchanged), but an
+    emitter that knows its own identity — e.g. a fused sweep that knows
+    its owning MG level — can tag events that would otherwise go out
+    blank.
     """
     if _collector is not None:
-        label = _label_stack[-1] if _label_stack else ""
-        _collector(PerfEvent(op, rows, nnz, flops, nbytes, label, fmt))
+        if _label_stack:
+            label = _label_stack[-1]
+        _collector(PerfEvent(op, rows, nnz, flops, nbytes, label or "", fmt))
 
 
 def active() -> bool:
@@ -93,7 +100,7 @@ class EventLog:
     def total(self, field: str, op: Optional[str] = None,
               label: Optional[str] = None, fmt: Optional[str] = None) -> int:
         return sum(
-            getattr(e, field)
+            getattr(e, field, 0)
             for e in self.events
             if (op is None or e.op == op)
             and (label is None or e.label == label)
@@ -104,10 +111,16 @@ class EventLog:
         return sum(1 for e in self.events if op is None or e.op == op)
 
     def by_format(self, field: str = "bytes") -> Dict[str, int]:
-        """Aggregate ``field`` per substrate format (fmt-less ops under '')."""
+        """Aggregate ``field`` per substrate format (fmt-less ops under '').
+
+        Tolerates events that do not carry the requested field — a
+        third-party provider emitting reduced events (say, bytes but no
+        flops) contributes 0 to that rollup instead of blowing it up.
+        """
         out: Dict[str, int] = {}
         for e in self.events:
-            out[e.fmt] = out.get(e.fmt, 0) + getattr(e, field)
+            fmt = getattr(e, "fmt", "")
+            out[fmt] = out.get(fmt, 0) + getattr(e, field, 0)
         return out
 
     def clear(self) -> None:

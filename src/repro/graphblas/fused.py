@@ -119,14 +119,22 @@ class ColorSweepPlan:
     expected to fall back to the reference transcription.
     """
 
-    def __init__(self, A: Matrix, colors: Sequence[Vector], diag: Vector):
+    def __init__(self, A: Matrix, colors: Sequence[Vector], diag: Vector,
+                 level: Optional[int] = None):
         if not colors:
             raise InvalidValue("at least one colour mask is required")
         self.A = A
         self.colors: List[Vector] = list(colors)
         self.diag = diag
+        #: owning MG level, when known — tags emitted events so byte
+        #: streams recorded outside a ``labelled`` scope still carry
+        #: the level attribution (an enclosing label always wins)
+        self.level = level
         self._key = None
         self._sweep: Optional[ColorSweep] = None
+
+    def _event_label(self) -> Optional[str]:
+        return None if self.level is None else f"rbgs@L{self.level}"
 
     def _current_sweep(self) -> Optional[ColorSweep]:
         key = (
@@ -159,12 +167,13 @@ class ColorSweepPlan:
             return False
         zv, rv = z._values, r._values
         if backend.active():
+            label = self._event_label()
             for k in order:
                 sweep.step(k, zv, rv)
                 flops, nbytes = sweep.traffic[k]
                 backend.record(
                     "fused_mxv_lambda", sweep.rows[k].size, sweep.nnzs[k],
-                    flops, nbytes, fmt=sweep.fmt,
+                    flops, nbytes, fmt=sweep.fmt, label=label,
                 )
         else:
             sweep.run(zv, rv, order)
@@ -181,10 +190,12 @@ class JacobiSweepPlan:
     :class:`ColorSweepPlan`.
     """
 
-    def __init__(self, A: Matrix, diag: Vector, omega: float):
+    def __init__(self, A: Matrix, diag: Vector, omega: float,
+                 level: Optional[int] = None):
         self.A = A
         self.diag = diag
         self.omega = omega
+        self.level = level    # same fallback-tag contract as ColorSweepPlan
 
     def run(self, z: Vector, r: Vector, sweeps: int) -> bool:
         if not fused_enabled():      # the kill switch works per call
@@ -206,6 +217,8 @@ class JacobiSweepPlan:
                 backend.record(
                     "fused_mxv_lambda", self.A.nrows, prov.nnz,
                     flops, nbytes, fmt=prov.name,
+                    label=(None if self.level is None
+                           else f"jacobi@L{self.level}"),
                 )
         z._bump()
         return True

@@ -162,6 +162,26 @@ def choose_model(csr: sp.csr_matrix, profile=None) -> str:
                                     min_size=AUTO_MIN_SIZE)
 
 
+def _decided(csr: sp.csr_matrix, request: Optional[str],
+             selection: Optional[str], chosen: str, reason: str) -> str:
+    """Report one selection decision to the observability layer.
+
+    ``reason`` names the rung of the selection ladder that fired:
+    ``pin`` (explicit request), ``env`` (``REPRO_SUBSTRATE`` force),
+    ``model`` (profile-priced) or ``heuristic`` (structure rules).
+    Free when observability is off: one lazy import + one stack read.
+    """
+    from repro import obs
+
+    if obs.enabled():
+        obs.record_selection(
+            nrows=int(csr.shape[0]), ncols=int(csr.shape[1]),
+            nnz=int(csr.nnz), request=request, selection=selection,
+            chosen=chosen, reason=reason,
+        )
+    return chosen
+
+
 def resolve(csr: sp.csr_matrix, request: Optional[str] = None,
             selection: Optional[str] = None) -> str:
     """Apply the selection order: explicit > environment force > automatic.
@@ -169,12 +189,16 @@ def resolve(csr: sp.csr_matrix, request: Optional[str] = None,
     ``request`` is a provider name (or ``"model"``, equivalent to
     ``selection="model"``); ``selection`` picks the automatic mode —
     ``"heuristic"`` (default), ``"model"``, or ``None``/``"auto"``.
+
+    When observability is enabled every call records its decision —
+    which provider was chosen and *why* — on the run manifest (see
+    :func:`repro.obs.record_selection`).
     """
     if request == MODEL:
         request, selection = None, MODEL
     if request is not None:
         get(request)
-        return request
+        return _decided(csr, request, selection, request, "pin")
     if selection not in (None, "auto", "heuristic", MODEL):
         raise InvalidValue(
             f"unknown selection mode {selection!r}; expected "
@@ -183,15 +207,15 @@ def resolve(csr: sp.csr_matrix, request: Optional[str] = None,
     # an explicit selection mode is a pin: it beats the env force,
     # exactly as an explicit provider request does
     if selection == MODEL:
-        return choose_model(csr)
+        return _decided(csr, request, selection, choose_model(csr), "model")
     if selection == "heuristic":
-        return choose(csr)
+        return _decided(csr, request, selection, choose(csr), "heuristic")
     env = forced()
     if env == MODEL:
-        return choose_model(csr)
+        return _decided(csr, request, selection, choose_model(csr), "model")
     if env is not None:
-        return env
-    return choose(csr)
+        return _decided(csr, request, selection, env, "env")
+    return _decided(csr, request, selection, choose(csr), "heuristic")
 
 
 def make(csr: sp.csr_matrix, request: Optional[str] = None,

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from repro import graphblas as grb
+from repro import obs
 from repro.util.errors import DimensionMismatch
 from repro.util.timer import null_timer
 
@@ -89,6 +90,16 @@ def pcg(
         )
     r, z, p, Ap = workspace.r, workspace.z, workspace.p, workspace.Ap
 
+    # observability taps (None when tracing is off): a residual series
+    # and a gauge, resolved once so the loop pays a single lookup
+    registry = obs.metrics_registry()
+    res_series = (registry.series(
+        "cg_residual", "CG residual 2-norm per iteration (index 0 = initial)"
+    ) if registry is not None else None)
+    res_gauge = (registry.gauge(
+        "cg_residual_last", "most recent CG residual 2-norm"
+    ) if registry is not None else None)
+
     with timers.measure("cg/spmv"), grb.backend.labelled("spmv"):
         grb.mxv(Ap, None, A, x)
     with timers.measure("cg/waxpby"), grb.backend.labelled("waxpby"):
@@ -96,6 +107,8 @@ def pcg(
     with timers.measure("cg/dot"), grb.backend.labelled("dot"):
         normr0 = normr = grb.norm2(r)
     residuals = [normr]
+    if res_series is not None:
+        res_series.observe(normr)
     rtz = 0.0
 
     if normr0 == 0.0:
@@ -107,35 +120,44 @@ def pcg(
     for k in range(1, max_iters + 1):
         if tolerance > 0 and normr / normr0 <= tolerance:
             break
-        if preconditioner is not None:
-            with timers.measure("cg/mg"):
-                preconditioner(z, r)                 # z <- M r
-        else:
-            with timers.measure("cg/waxpby"), grb.backend.labelled("waxpby"):
-                grb.waxpby(z, 1.0, r, 0.0, r)        # z <- r
-        if k == 1:
-            with timers.measure("cg/waxpby"), grb.backend.labelled("waxpby"):
-                grb.waxpby(p, 1.0, z, 0.0, z)        # p <- z
+        with obs.span("cg/iteration", "cg", {"k": k}) as sp:
+            if preconditioner is not None:
+                with timers.measure("cg/mg"):
+                    preconditioner(z, r)                 # z <- M r
+            else:
+                with timers.measure("cg/waxpby"), \
+                        grb.backend.labelled("waxpby"):
+                    grb.waxpby(z, 1.0, r, 0.0, r)        # z <- r
+            if k == 1:
+                with timers.measure("cg/waxpby"), \
+                        grb.backend.labelled("waxpby"):
+                    grb.waxpby(p, 1.0, z, 0.0, z)        # p <- z
+                with timers.measure("cg/dot"), grb.backend.labelled("dot"):
+                    rtz = grb.dot(r, z)
+            else:
+                rtz_old = rtz
+                with timers.measure("cg/dot"), grb.backend.labelled("dot"):
+                    rtz = grb.dot(r, z)
+                beta = rtz / rtz_old
+                with timers.measure("cg/waxpby"), \
+                        grb.backend.labelled("waxpby"):
+                    grb.waxpby(p, 1.0, z, beta, p)       # p <- z + beta p
+            with timers.measure("cg/spmv"), grb.backend.labelled("spmv"):
+                grb.mxv(Ap, None, A, p)                  # Ap <- A p
             with timers.measure("cg/dot"), grb.backend.labelled("dot"):
-                rtz = grb.dot(r, z)
-        else:
-            rtz_old = rtz
-            with timers.measure("cg/dot"), grb.backend.labelled("dot"):
-                rtz = grb.dot(r, z)
-            beta = rtz / rtz_old
+                pAp = grb.dot(p, Ap)
+            alpha = rtz / pAp
             with timers.measure("cg/waxpby"), grb.backend.labelled("waxpby"):
-                grb.waxpby(p, 1.0, z, beta, p)       # p <- z + beta p
-        with timers.measure("cg/spmv"), grb.backend.labelled("spmv"):
-            grb.mxv(Ap, None, A, p)                  # Ap <- A p
-        with timers.measure("cg/dot"), grb.backend.labelled("dot"):
-            pAp = grb.dot(p, Ap)
-        alpha = rtz / pAp
-        with timers.measure("cg/waxpby"), grb.backend.labelled("waxpby"):
-            grb.waxpby(x, 1.0, x, alpha, p)          # x <- x + alpha p
-            grb.waxpby(r, 1.0, r, -alpha, Ap)        # r <- r - alpha Ap
-        with timers.measure("cg/dot"), grb.backend.labelled("dot"):
-            normr = grb.norm2(r)
+                grb.waxpby(x, 1.0, x, alpha, p)          # x <- x + alpha p
+                grb.waxpby(r, 1.0, r, -alpha, Ap)        # r <- r - alpha Ap
+            with timers.measure("cg/dot"), grb.backend.labelled("dot"):
+                normr = grb.norm2(r)
+            if sp is not None:
+                sp.set(normr=normr)
         residuals.append(normr)
+        if res_series is not None:
+            res_series.observe(normr)
+            res_gauge.set(normr)
         iterations = k
 
     converged = tolerance > 0 and normr / normr0 <= tolerance

@@ -16,11 +16,13 @@ Mirrors the phase structure of the official benchmark:
 from __future__ import annotations
 
 import argparse
+import contextlib
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro import graphblas as grb
+from repro import obs
 from repro.hpcg import flops as flops_mod
 from repro.hpcg.cg import CGResult, CGWorkspace, pcg
 from repro.hpcg.multigrid import MGLevel, MGPreconditioner, build_hierarchy
@@ -137,18 +139,21 @@ def run_hpcg(
     repetitions, so breakdown *shares* are unaffected.
     """
     t0 = time.perf_counter()
-    if problem is None:
-        problem = generate_problem(nx, ny, nz, b_style=b_style)
-    timers = TimerRegistry()
-    preconditioner = None
-    if mg_levels > 0:
-        hierarchy = build_hierarchy(problem, levels=mg_levels,
-                                    coloring_scheme=coloring_scheme)
-        preconditioner = MGPreconditioner(hierarchy, timers=timers)
+    with obs.span("hpcg/setup", "hpcg",
+                  {"nx": nx, "ny": ny, "nz": nz, "mg_levels": mg_levels}):
+        if problem is None:
+            problem = generate_problem(nx, ny, nz, b_style=b_style)
+        timers = TimerRegistry()
+        preconditioner = None
+        if mg_levels > 0:
+            hierarchy = build_hierarchy(problem, levels=mg_levels,
+                                        coloring_scheme=coloring_scheme)
+            preconditioner = MGPreconditioner(hierarchy, timers=timers)
     setup_seconds = time.perf_counter() - t0
 
     if validate_symmetry:
-        sym = validate(problem.A, preconditioner)
+        with obs.span("hpcg/validate", "hpcg"):
+            sym = validate(problem.A, preconditioner)
         # the validation probes ran the preconditioner under the same
         # timer registry; clear them so the breakdown reflects only the
         # timed run (official HPCG likewise excludes validation).
@@ -158,26 +163,69 @@ def run_hpcg(
 
     if repetitions < 1:
         raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+    registry = obs.metrics_registry()
+    recorder = obs.manifest_recorder()
+    if recorder is not None:
+        recorder.record_config(
+            nx=problem.grid.nx, ny=problem.grid.ny, nz=problem.grid.nz,
+            max_iters=max_iters, tolerance=tolerance, mg_levels=mg_levels,
+            b_style=b_style, coloring_scheme=coloring_scheme,
+            repetitions=repetitions, validate_symmetry=validate_symmetry,
+        )
+        # the validation probes draw fixed-seed random vectors
+        # (symmetry.py defaults); record them for reproducibility
+        recorder.record_seed("symmetry_spmv", 7)
+        recorder.record_seed("symmetry_precond", 11)
     repetition_seconds: List[float] = []
     cg_result = None
     workspace = CGWorkspace(problem.n)   # shared across repetitions
     x = None
-    for _ in range(repetitions):
+    event_log = None
+    for rep in range(repetitions):
         if x is None:
             x = problem.x0.dup()
         else:
             grb.assign(x, None, problem.x0)      # x <- x0, same storage
-        t1 = time.perf_counter()
-        cg_result = pcg(
-            problem.A, problem.b, x,
-            preconditioner=preconditioner,
-            max_iters=max_iters,
-            tolerance=tolerance,
-            timers=timers,
-            workspace=workspace,
-        )
-        repetition_seconds.append(time.perf_counter() - t1)
+        with contextlib.ExitStack() as scope:
+            scope.enter_context(
+                obs.span("hpcg/solve", "hpcg", {"repetition": rep})
+            )
+            # collect the op stream for the bytes-by-format metric, but
+            # never displace a collector someone outside installed (the
+            # perf layer's scaling runs own the stream when present)
+            if registry is not None and not grb.backend.active():
+                if event_log is None:
+                    event_log = grb.backend.EventLog()
+                scope.enter_context(grb.backend.collect(event_log))
+            t1 = time.perf_counter()
+            cg_result = pcg(
+                problem.A, problem.b, x,
+                preconditioner=preconditioner,
+                max_iters=max_iters,
+                tolerance=tolerance,
+                timers=timers,
+                workspace=workspace,
+            )
+            repetition_seconds.append(time.perf_counter() - t1)
     run_seconds = sum(repetition_seconds) / len(repetition_seconds)
+
+    if registry is not None:
+        latency = registry.histogram(
+            "hpcg_solve_seconds", "wall-clock seconds per timed CG solve")
+        for seconds in repetition_seconds:
+            latency.observe(seconds)
+        registry.counter(
+            "cg_iterations_total", "CG iterations across timed solves"
+        ).inc(cg_result.iterations * repetitions)
+        if event_log is not None:
+            by_fmt = registry.counter(
+                "graphblas_bytes_by_format",
+                "modelled bytes moved, per substrate format")
+            for fmt, nbytes in event_log.by_format("bytes").items():
+                by_fmt.inc(nbytes, fmt=fmt or "untagged")
+            registry.counter(
+                "graphblas_ops_total", "GraphBLAS operations executed"
+            ).inc(len(event_log.events))
 
     flops = _count_flops(problem, preconditioner, cg_result.iterations, mg_levels)
     return HPCGResult(
@@ -233,14 +281,32 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="attach the cached repro.tune machine "
                              "profile to the report (run `python -m "
                              "repro.tune measure` first)")
+    parser.add_argument("--trace-json", metavar="PATH", default=None,
+                        help="write a Chrome/Perfetto trace_event JSON "
+                             "of the run (implies tracing on)")
+    parser.add_argument("--metrics-json", metavar="PATH", default=None,
+                        help="write the metrics snapshot as JSON "
+                             "(implies tracing on)")
+    parser.add_argument("--manifest-json", metavar="PATH", default=None,
+                        help="write the run-provenance manifest as JSON "
+                             "(implies tracing on)")
     args = parser.parse_args(argv)
-    result = run_hpcg(
-        args.nx, args.ny, args.nz,
-        max_iters=args.iters,
-        tolerance=args.tolerance,
-        mg_levels=args.mg_levels,
-        b_style=args.b_style,
+    want_artifacts = bool(
+        args.trace_json or args.metrics_json or args.manifest_json
     )
+    with contextlib.ExitStack() as scope:
+        if want_artifacts:
+            # an explicit context so the artifacts cover exactly this
+            # run, even when REPRO_TRACE also armed the env context
+            scope.enter_context(obs.run(name="hpcg-driver"))
+        result = run_hpcg(
+            args.nx, args.ny, args.nz,
+            max_iters=args.iters,
+            tolerance=args.tolerance,
+            mg_levels=args.mg_levels,
+            b_style=args.b_style,
+        )
+        obs_ctx = obs.current()   # env-armed context when no flag given
     print(result.summary())
     profile = None
     if args.profile:
@@ -252,11 +318,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         else:
             print(f"machine profile: {profile.name} "
                   f"(triad {profile.triad_bandwidth / 1e9:.2f} GB/s)")
+    if obs_ctx is not None:
+        print(f"observability: run {obs_ctx.run_id}: "
+              f"{len(obs_ctx.tracer.spans)} spans "
+              f"({obs_ctx.tracer.dropped} dropped), "
+              f"{len(obs_ctx.metrics.names())} metrics")
+        if args.trace_json:
+            print(f"  trace   -> {obs.export.write_trace(args.trace_json, obs_ctx)}")
+        if args.metrics_json:
+            print(f"  metrics -> {obs.export.write_metrics(args.metrics_json, obs_ctx)}")
+        if args.manifest_json:
+            print(f"  manifest-> "
+                  f"{obs.export.write_manifest(args.manifest_json, obs_ctx.build_manifest())}")
     if args.timers:
         print(result.timers.report())
     if args.report:
         from repro.hpcg.report import render_report
-        print(render_report(result, profile=profile))
+        print(render_report(result, profile=profile, obs_ctx=obs_ctx))
     return 0 if result.symmetry.passed else 1
 
 

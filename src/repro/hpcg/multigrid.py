@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from repro import graphblas as grb
+from repro import obs
 from repro.grid import Grid3D
 from repro.hpcg.coloring import color_masks, coloring_for_problem, lattice_coloring
 from repro.hpcg.problem import Problem, build_operator
@@ -103,6 +104,12 @@ def build_hierarchy(
             coloring_for_problem(A, grid, coloring_scheme, stencil)
         )
         smoother = smoother_factory(A, A_diag, colors)
+        # tell level-aware smoothers who owns them, so their spans and
+        # fused byte-stream events carry the MG level even outside a
+        # ``labelled`` scope (custom factories may opt out)
+        set_level = getattr(smoother, "set_level", None)
+        if callable(set_level):
+            set_level(index)
         return MGLevel(
             index=index, grid=grid, A=A, A_diag=A_diag, smoother=smoother,
             f=grb.Vector.dense(grid.npoints),
@@ -136,26 +143,32 @@ def mg_vcycle(
     under ``mg/L{i}/...`` which the breakdown figures consume.
     """
     tag = f"mg/L{level.index}"
-    with timers.measure(f"{tag}/rbgs"), grb.backend.labelled(f"rbgs@L{level.index}"):
-        level.smoother.smooth(z, r, sweeps=pre_sweeps)
-    if level.coarser is None:
-        return z
+    with obs.span(tag, "mg", {"level": level.index, "n": level.n}):
+        with timers.measure(f"{tag}/rbgs"), \
+                grb.backend.labelled(f"rbgs@L{level.index}"):
+            level.smoother.smooth(z, r, sweeps=pre_sweeps)
+        if level.coarser is None:
+            return z
 
-    with timers.measure(f"{tag}/spmv"), \
-            grb.backend.labelled(f"mg_spmv@L{level.index}"):
-        grb.mxv(level.f, None, level.A, z)          # f <- A z
-        grb.waxpby(level.f, 1.0, r, -1.0, level.f)  # f <- r - f
-    with timers.measure(f"{tag}/restrict"), \
-            grb.backend.labelled(f"restrict@L{level.index}"):
-        restrict(level.rc, level.R, level.f)        # rc <- R (r - A z)
-    level.zc.fill(0.0)                              # zc <- 0
-    mg_vcycle(level.coarser, level.zc, level.rc, timers,
-              pre_sweeps=pre_sweeps, post_sweeps=post_sweeps)
-    with timers.measure(f"{tag}/prolong"), \
-            grb.backend.labelled(f"refine@L{level.index}"):
-        prolong_add(z, level.R, level.zc)           # z <- z + R' zc
-    with timers.measure(f"{tag}/rbgs"), grb.backend.labelled(f"rbgs@L{level.index}"):
-        level.smoother.smooth(z, r, sweeps=post_sweeps)
+        with timers.measure(f"{tag}/spmv"), \
+                grb.backend.labelled(f"mg_spmv@L{level.index}"), \
+                obs.span(f"{tag}/spmv", "mg"):
+            grb.mxv(level.f, None, level.A, z)          # f <- A z
+            grb.waxpby(level.f, 1.0, r, -1.0, level.f)  # f <- r - f
+        with timers.measure(f"{tag}/restrict"), \
+                grb.backend.labelled(f"restrict@L{level.index}"), \
+                obs.span(f"{tag}/restrict", "mg"):
+            restrict(level.rc, level.R, level.f)        # rc <- R (r - A z)
+        level.zc.fill(0.0)                              # zc <- 0
+        mg_vcycle(level.coarser, level.zc, level.rc, timers,
+                  pre_sweeps=pre_sweeps, post_sweeps=post_sweeps)
+        with timers.measure(f"{tag}/prolong"), \
+                grb.backend.labelled(f"refine@L{level.index}"), \
+                obs.span(f"{tag}/prolong", "mg"):
+            prolong_add(z, level.R, level.zc)           # z <- z + R' zc
+        with timers.measure(f"{tag}/rbgs"), \
+                grb.backend.labelled(f"rbgs@L{level.index}"):
+            level.smoother.smooth(z, r, sweeps=post_sweeps)
     return z
 
 

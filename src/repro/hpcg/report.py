@@ -15,12 +15,14 @@ from typing import Dict, Optional
 from repro.hpcg.driver import HPCGResult
 
 
-def to_dict(result: HPCGResult, profile=None) -> Dict:
+def to_dict(result: HPCGResult, profile=None, obs_ctx=None) -> Dict:
     """The report as a nested dictionary.
 
     ``profile`` (a :class:`repro.tune.MachineProfile`) adds a "Machine
     Profile" section recording which measurement priced/contextualised
     the run — the official report likewise names its machine.
+    ``obs_ctx`` (a :class:`repro.obs.RunContext`) adds an
+    "Observability" section identifying the trace the run produced.
     """
     problem = result.problem
     counts = result.flops.merged()
@@ -51,6 +53,17 @@ def to_dict(result: HPCGResult, profile=None) -> Dict:
                 "BSP L (us)": round(profile.latency * 1e6, 3),
                 "Overlap Efficiency": round(profile.overlap_efficiency, 3),
                 "Fast Budget": profile.fast,
+            }
+        }
+    obs_section = {}
+    if obs_ctx is not None:
+        obs_section = {
+            "Observability": {
+                "Run ID": obs_ctx.run_id,
+                "Spans Recorded": len(obs_ctx.tracer.spans),
+                "Spans Dropped": obs_ctx.tracer.dropped,
+                "Metrics": len(obs_ctx.metrics.names()),
+                "Substrate Decisions": len(obs_ctx.manifest.decisions),
             }
         }
     return {
@@ -92,6 +105,7 @@ def to_dict(result: HPCGResult, profile=None) -> Dict:
                    for k, v in gflops_per_kernel.items()},
             },
             **machine_section,
+            **obs_section,
             "Final Summary": {
                 "HPCG result is": "VALID" if result.symmetry.passed else "INVALID",
                 "GFLOP/s rating of": round(result.gflops, 6),
@@ -112,6 +126,6 @@ def _render(node, indent: int = 0) -> str:
     return "\n".join(lines)
 
 
-def render_report(result: HPCGResult, profile=None) -> str:
+def render_report(result: HPCGResult, profile=None, obs_ctx=None) -> str:
     """The report as YAML-formatted text (official-report lookalike)."""
-    return _render(to_dict(result, profile=profile))
+    return _render(to_dict(result, profile=profile, obs_ctx=obs_ctx))

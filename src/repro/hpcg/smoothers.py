@@ -46,6 +46,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro import graphblas as grb
+from repro import obs
 from repro.graphblas import fused as fused_mod
 from repro.util.errors import DimensionMismatch, InvalidValue
 
@@ -87,6 +88,9 @@ class RBGSSmoother:
         self.A = A
         self.A_diag = A_diag
         self.colors: List[grb.Vector] = list(colors)
+        #: owning MG level when built by ``build_hierarchy`` (None for
+        #: a standalone smoother); tags spans and fused-event streams
+        self.level: Optional[int] = None
         # Workspace for the masked products; allocated once, like the
         # explicit `tmp` buffer of Listing 3.
         self._tmp = grb.Vector.dense(A.nrows)
@@ -95,6 +99,13 @@ class RBGSSmoother:
             fused_mod.ColorSweepPlan(A, self.colors, A_diag)
             if use_fused else None
         )
+
+    def set_level(self, index: Optional[int]) -> "RBGSSmoother":
+        """Record the owning MG level (propagated into the fused plan)."""
+        self.level = index
+        if self._plan is not None:
+            self._plan.level = index
+        return self
 
     @property
     def n(self) -> int:
@@ -114,14 +125,22 @@ class RBGSSmoother:
         z[idx] = (r[idx] - s[idx] + z[idx] * dd) / dd
 
     def _sweep(self, z: grb.Vector, r: grb.Vector, order) -> None:
-        if self._plan is not None and self._plan.run(z, r, order):
-            return
-        for k in order:
-            mask = self.colors[k]
-            grb.mxv(self._tmp, mask, self.A, z, desc=grb.descriptors.structural)
-            grb.ewise_lambda(
-                self._pointwise, mask, z, r, self._tmp, self.A_diag
-            )
+        with obs.span("smoother/rbgs_sweep", "smoother") as sp:
+            if self._plan is not None and self._plan.run(z, r, order):
+                if sp is not None:
+                    sp.set(fused=True, colors=len(self.colors),
+                           level=self.level, n=self.n)
+                return
+            for k in order:
+                mask = self.colors[k]
+                grb.mxv(self._tmp, mask, self.A, z,
+                        desc=grb.descriptors.structural)
+                grb.ewise_lambda(
+                    self._pointwise, mask, z, r, self._tmp, self.A_diag
+                )
+            if sp is not None:
+                sp.set(fused=False, colors=len(self.colors),
+                       level=self.level, n=self.n)
 
     def forward(self, z: grb.Vector, r: grb.Vector) -> grb.Vector:
         """One forward multi-colour Gauss-Seidel sweep (Listing 2)."""
@@ -165,12 +184,20 @@ class JacobiSmoother:
         self.A = A
         self.A_diag = A_diag
         self.omega = omega
+        self.level: Optional[int] = None
         self._tmp = grb.Vector.dense(A.nrows)
         use_fused = fused_mod.fused_enabled() if fused is None else fused
         self._plan = (
             fused_mod.JacobiSweepPlan(A, A_diag, omega)
             if use_fused else None
         )
+
+    def set_level(self, index: Optional[int]) -> "JacobiSmoother":
+        """Record the owning MG level (propagated into the fused plan)."""
+        self.level = index
+        if self._plan is not None:
+            self._plan.level = index
+        return self
 
     @property
     def n(self) -> int:
@@ -181,17 +208,23 @@ class JacobiSmoother:
         return self._plan is not None
 
     def smooth(self, z: grb.Vector, r: grb.Vector, sweeps: int = 1) -> grb.Vector:
-        if self._plan is not None and self._plan.run(z, r, sweeps):
+        with obs.span("smoother/jacobi_sweep", "smoother") as sp:
+            if sp is not None:
+                sp.set(sweeps=sweeps, level=self.level, n=self.n,
+                       fused=self._plan is not None)
+            if self._plan is not None and self._plan.run(z, r, sweeps):
+                return z
+            if sp is not None:
+                sp.set(fused=False)
+            omega = self.omega
+
+            def update(idx, zv, rv, sv, dv):
+                zv[idx] = zv[idx] + omega * (rv[idx] - sv[idx]) / dv[idx]
+
+            for _ in range(sweeps):
+                grb.mxv(self._tmp, None, self.A, z)
+                grb.ewise_lambda(update, None, z, r, self._tmp, self.A_diag)
             return z
-        omega = self.omega
-
-        def update(idx, zv, rv, sv, dv):
-            zv[idx] = zv[idx] + omega * (rv[idx] - sv[idx]) / dv[idx]
-
-        for _ in range(sweeps):
-            grb.mxv(self._tmp, None, self.A, z)
-            grb.ewise_lambda(update, None, z, r, self._tmp, self.A_diag)
-        return z
 
     # Jacobi's forward and backward halves are identical.
     def forward(self, z: grb.Vector, r: grb.Vector) -> grb.Vector:

@@ -1,0 +1,99 @@
+"""repro.obs — unified tracing, metrics and run provenance.
+
+The paper's claims are attribution claims: where time goes across CG,
+multigrid levels, halo exchange and kernel formats.  This package is
+the one layer every piece of that evidence flows through:
+
+* **structured spans** (:mod:`repro.obs.trace`) — nestable,
+  thread-safe, near-zero-cost when disabled, carrying *both*
+  wall-clock and modelled BSP time, exported as Chrome/Perfetto
+  ``trace_event`` JSON;
+* a **metrics registry** (:mod:`repro.obs.metrics`) — labelled
+  counters/gauges/histograms/series with JSON snapshots and Prometheus
+  text exposition;
+* a **run manifest** (:mod:`repro.obs.manifest`) — every ``REPRO_*``
+  toggle, the resolved switch states, the active tune profile,
+  per-matrix substrate-selection decisions *with reasons*, seeds and
+  versions, in one reproducibility document.
+
+Tracing is **off by default**; enable it with ``REPRO_TRACE=1`` (any
+instrumented call then lazily creates a process-wide context) or
+explicitly::
+
+    import repro.obs as obs
+
+    with obs.run(name="solve") as ctx:
+        result = run_hpcg(nx=16, max_iters=50)
+    obs.export.write_trace("trace.json", ctx)
+    obs.export.write_metrics("metrics.json", ctx)
+    obs.export.write_manifest("manifest.json", ctx.build_manifest())
+
+Instrumented seams: the HPCG driver (phases), the CG loop (per
+iteration + residual series), multigrid (per level), smoothers (per
+sweep, fused or reference), the simulated dist engine (per superstep,
+with exposed-vs-hidden comm), and the substrate registry (selection
+decisions).  Spans observe — they never change the numerics, and
+residual histories are byte-identical traced or untraced.
+"""
+
+from repro.obs import export, manifest, metrics, trace
+from repro.obs.context import (
+    ENV_TRACE,
+    RunContext,
+    activate,
+    current,
+    deactivate,
+    disabled,
+    enabled,
+    event,
+    manifest_recorder,
+    metrics as metrics_registry,
+    record_selection,
+    reset,
+    run,
+    span,
+    trace_env_enabled,
+)
+from repro.obs.manifest import ManifestRecorder, build_manifest, validate_manifest
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Series,
+)
+from repro.obs.trace import NULL_SPAN, SpanHandle, SpanRecord, Tracer
+
+__all__ = [
+    "ENV_TRACE",
+    "NULL_SPAN",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "ManifestRecorder",
+    "MetricsRegistry",
+    "RunContext",
+    "Series",
+    "SpanHandle",
+    "SpanRecord",
+    "Tracer",
+    "activate",
+    "build_manifest",
+    "current",
+    "deactivate",
+    "disabled",
+    "enabled",
+    "event",
+    "export",
+    "manifest",
+    "manifest_recorder",
+    "metrics",
+    "metrics_registry",
+    "record_selection",
+    "reset",
+    "run",
+    "span",
+    "trace",
+    "trace_env_enabled",
+    "validate_manifest",
+]

@@ -1,0 +1,51 @@
+"""CLI for observability artifacts: ``python -m repro.obs``.
+
+Subcommands:
+
+``validate [--trace T] [--metrics M] [--manifest MF]``
+    Validate written artifacts against their schemas (the CI gate);
+    exits non-zero with a message on the first invalid file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.obs import export
+from repro.util.errors import InvalidValue
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="observability artifact tooling",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    val = sub.add_parser("validate",
+                         help="validate artifacts against their schemas")
+    val.add_argument("--trace", help="Chrome trace_event JSON to validate")
+    val.add_argument("--metrics", help="metrics snapshot JSON to validate")
+    val.add_argument("--manifest", help="run manifest JSON to validate")
+    args = parser.parse_args(argv)
+
+    checks = [(args.trace, "trace"), (args.metrics, "metrics"),
+              (args.manifest, "manifest")]
+    checks = [(path, kind) for path, kind in checks if path]
+    if not checks:
+        print("nothing to validate: pass --trace/--metrics/--manifest",
+              file=sys.stderr)
+        return 2
+    for path, kind in checks:
+        try:
+            export.validate_file(path, kind)
+        except (InvalidValue, OSError, ValueError) as exc:
+            print(f"INVALID {kind} {path}: {exc}", file=sys.stderr)
+            return 1
+        print(f"ok: {kind} {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,171 @@
+"""Run context and the near-zero-cost enablement seam.
+
+All instrumentation in the solver stack goes through the module-level
+helpers here (:func:`span`, :func:`event`, :func:`metrics`,
+:func:`manifest_recorder`).  When observability is off — the default —
+each helper is one environment read and a ``None`` return, so the hot
+paths pay essentially nothing and the numerics are untouched either
+way.
+
+Activation, in precedence order:
+
+1. an explicit context (``with obs.run() as ctx:``, or
+   :func:`activate`) — used by the driver CLI and tests;
+2. the ``REPRO_TRACE`` environment variable (default **off**): the
+   first instrumented call under ``REPRO_TRACE=1`` lazily creates a
+   process-wide context, which is how a whole test suite or an
+   uncooperative script gets traced without code changes;
+3. nothing — the shared :data:`~repro.obs.trace.NULL_SPAN` sink.
+
+:func:`disabled` force-suppresses observability for a dynamic extent
+even under ``REPRO_TRACE=1`` (the overhead smoke test's untraced arm).
+"""
+
+from __future__ import annotations
+
+import os
+import uuid
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.obs.manifest import ManifestRecorder
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_SPAN, SpanHandle, Tracer
+
+#: The master switch: tracing is off unless this is truthy.
+ENV_TRACE = "REPRO_TRACE"
+
+_TRUTHY = ("1", "true", "on", "yes")
+
+
+def trace_env_enabled() -> bool:
+    """The ``REPRO_TRACE`` switch (default off)."""
+    return os.environ.get(ENV_TRACE, "").strip().lower() in _TRUTHY
+
+
+class RunContext:
+    """One observed run: a tracer, a metrics registry and a manifest."""
+
+    def __init__(self, name: str = "run", run_id: Optional[str] = None,
+                 max_spans: Optional[int] = None):
+        self.name = name
+        self.run_id = run_id or uuid.uuid4().hex[:12]
+        self.tracer = (Tracer() if max_spans is None
+                       else Tracer(max_spans=max_spans))
+        self.metrics = MetricsRegistry()
+        self.manifest = ManifestRecorder(run_id=self.run_id)
+
+    def build_manifest(self, **extra_config: Any) -> Dict[str, Any]:
+        return self.manifest.build(**extra_config)
+
+
+# Explicit activations; a ``None`` entry means "forced off".  The env
+# fallback context is created lazily and reused for the process.
+_stack: List[Optional[RunContext]] = []
+_env_context: Optional[RunContext] = None
+
+
+def current() -> Optional[RunContext]:
+    """The active context, or None when observability is off."""
+    global _env_context
+    if _stack:
+        return _stack[-1]
+    if trace_env_enabled():
+        if _env_context is None:
+            _env_context = RunContext(name="env")
+        return _env_context
+    return None
+
+
+def enabled() -> bool:
+    return current() is not None
+
+
+def activate(ctx: RunContext) -> RunContext:
+    _stack.append(ctx)
+    return ctx
+
+
+def deactivate(ctx: Optional[RunContext] = None) -> None:
+    """Pop the innermost activation (which must be ``ctx`` when given)."""
+    if not _stack:
+        return
+    if ctx is not None and _stack[-1] is not ctx:
+        raise ValueError("deactivate() out of order")
+    _stack.pop()
+
+
+def reset() -> None:
+    """Drop every activation and the lazy env context (test isolation)."""
+    global _env_context
+    _stack.clear()
+    _env_context = None
+
+
+@contextmanager
+def run(name: str = "run", run_id: Optional[str] = None,
+        max_spans: Optional[int] = None) -> Iterator[RunContext]:
+    """Activate a fresh context for the dynamic extent."""
+    ctx = RunContext(name=name, run_id=run_id, max_spans=max_spans)
+    activate(ctx)
+    try:
+        yield ctx
+    finally:
+        deactivate(ctx)
+
+
+@contextmanager
+def disabled() -> Iterator[None]:
+    """Force observability off for the dynamic extent."""
+    _stack.append(None)
+    try:
+        yield
+    finally:
+        _stack.pop()
+
+
+# --- the instrumentation helpers (the only API hot paths touch) -------------
+
+def span(name: str, category: str = "",
+         args: Optional[Dict[str, Any]] = None):
+    """A span context manager — the shared null sink when disabled.
+
+    The enabled form yields a :class:`~repro.obs.trace.SpanHandle`;
+    the disabled form yields ``None``, so call sites can gate
+    attribute work with ``if sp is not None``.
+    """
+    ctx = current()
+    if ctx is None:
+        return NULL_SPAN
+    return ctx.tracer.span(name, category, args)
+
+
+def event(name: str, category: str = "",
+          args: Optional[Dict[str, Any]] = None) -> None:
+    """Record an instant event (no-op when disabled)."""
+    ctx = current()
+    if ctx is not None:
+        ctx.tracer.event(name, category, args)
+
+
+def metrics() -> Optional[MetricsRegistry]:
+    """The active metrics registry, or None when disabled."""
+    ctx = current()
+    return ctx.metrics if ctx is not None else None
+
+
+def manifest_recorder() -> Optional[ManifestRecorder]:
+    """The active manifest recorder, or None when disabled."""
+    ctx = current()
+    return ctx.manifest if ctx is not None else None
+
+
+def record_selection(**fields: Any) -> None:
+    """Record a substrate-selection decision on the active manifest
+    (and as a trace event) — called by the substrate registry."""
+    ctx = current()
+    if ctx is None:
+        return
+    ctx.manifest.record_decision(**fields)
+    ctx.tracer.event("substrate_selection", category="substrate",
+                     args=fields)

@@ -1,0 +1,140 @@
+"""Artifact writers and schema validators for :mod:`repro.obs`.
+
+Three artifacts, one writer and one validator each:
+
+* **trace** — Chrome/Perfetto ``trace_event`` JSON (plus a plain span
+  list under ``otherData`` consumers can ignore);
+* **metrics** — a registry snapshot wrapped with run identity;
+* **manifest** — the run-provenance document.
+
+The validators are deliberately strict about the keys tooling relies
+on and silent about extras, so artifacts can grow without breaking old
+readers.  ``python -m repro.obs validate`` (see ``__main__``) runs
+them from the command line — the CI leg's schema gate.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from repro.obs.context import RunContext
+from repro.obs.manifest import validate_manifest  # re-exported
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+from repro.util.errors import InvalidValue
+
+#: Metrics-artifact schema version.
+METRICS_SCHEMA_VERSION = 1
+
+_VALID_PHASES = ("X", "i", "M", "B", "E", "C")
+
+
+def write_json(path: str, payload: Dict[str, Any]) -> str:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True, default=str)
+        fh.write("\n")
+    return path
+
+
+# --- trace -------------------------------------------------------------------
+
+def trace_payload(tracer: Tracer, run_id: str = "") -> Dict[str, Any]:
+    """The Chrome ``trace_event`` document (spans list included)."""
+    payload = tracer.chrome_trace(run_id=run_id)
+    payload["otherData"]["spans"] = tracer.as_dicts()
+    return payload
+
+
+def write_trace(path: str, ctx: RunContext) -> str:
+    return write_json(path, trace_payload(ctx.tracer, run_id=ctx.run_id))
+
+
+def validate_chrome_trace(payload: Dict[str, Any]) -> None:
+    """Raise unless ``payload`` is a loadable Chrome trace document."""
+    if not isinstance(payload, dict):
+        raise InvalidValue("trace must be a JSON object")
+    events = payload.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        raise InvalidValue("trace needs a non-empty traceEvents list")
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            raise InvalidValue(f"traceEvents[{i}] is not an object")
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in ev:
+                raise InvalidValue(f"traceEvents[{i}] missing {key!r}")
+        ph = ev["ph"]
+        if ph not in _VALID_PHASES:
+            raise InvalidValue(f"traceEvents[{i}] has unknown phase {ph!r}")
+        if ph in ("X", "i") and "ts" not in ev:
+            raise InvalidValue(f"traceEvents[{i}] missing 'ts'")
+        if ph == "X":
+            if "dur" not in ev:
+                raise InvalidValue(f"traceEvents[{i}] missing 'dur'")
+            args = ev.get("args", {})
+            if "modelled_seconds" not in args:
+                raise InvalidValue(
+                    f"traceEvents[{i}] span lacks args.modelled_seconds"
+                )
+
+
+# --- metrics -----------------------------------------------------------------
+
+def metrics_payload(registry: MetricsRegistry,
+                    run_id: str = "") -> Dict[str, Any]:
+    return {
+        "schema_version": METRICS_SCHEMA_VERSION,
+        "run_id": run_id,
+        "metrics": registry.snapshot(),
+    }
+
+
+def write_metrics(path: str, ctx: RunContext) -> str:
+    return write_json(path, metrics_payload(ctx.metrics, run_id=ctx.run_id))
+
+
+def write_prometheus(path: str, registry: MetricsRegistry) -> str:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(registry.to_prometheus())
+    return path
+
+
+def validate_metrics_snapshot(payload: Dict[str, Any]) -> None:
+    """Raise unless ``payload`` is a valid metrics artifact."""
+    if not isinstance(payload, dict):
+        raise InvalidValue("metrics artifact must be a JSON object")
+    if payload.get("schema_version") != METRICS_SCHEMA_VERSION:
+        raise InvalidValue(
+            f"metrics schema {payload.get('schema_version')!r} != "
+            f"supported {METRICS_SCHEMA_VERSION}"
+        )
+    metrics = payload.get("metrics")
+    if not isinstance(metrics, dict):
+        raise InvalidValue("metrics artifact needs a 'metrics' object")
+    # the decisive check: the snapshot must reconstruct losslessly
+    rebuilt = MetricsRegistry.from_snapshot(metrics)
+    if rebuilt.snapshot() != metrics:
+        raise InvalidValue("metrics snapshot does not round-trip")
+
+
+# --- manifest ----------------------------------------------------------------
+
+def write_manifest(path: str, manifest: Dict[str, Any]) -> str:
+    validate_manifest(manifest)
+    return write_json(path, manifest)
+
+
+# --- file-level validation (the CI gate) ------------------------------------
+
+def validate_file(path: str, kind: str) -> None:
+    """Validate a written artifact: ``kind`` in trace/metrics/manifest."""
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if kind == "trace":
+        validate_chrome_trace(payload)
+    elif kind == "metrics":
+        validate_metrics_snapshot(payload)
+    elif kind == "manifest":
+        validate_manifest(payload)
+    else:
+        raise InvalidValue(f"unknown artifact kind {kind!r}")

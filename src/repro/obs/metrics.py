@@ -1,0 +1,357 @@
+"""Labelled metrics: counters, gauges, histograms and series.
+
+The registry backs two consumers:
+
+* **snapshots** — a plain nested dict (:meth:`MetricsRegistry.snapshot`)
+  round-trippable through JSON, attached to results and dumped by the
+  driver's ``--metrics-json``;
+* **Prometheus text exposition** (:meth:`MetricsRegistry.to_prometheus`)
+  for the future serving engine: the same registry can be scraped.
+
+Metric types follow Prometheus semantics where they exist (counter,
+gauge, histogram); :class:`Series` is the local extra — an ordered,
+bounded trajectory of observations (CG residual histories, per-superstep
+h-relations) that a point-in-time scrape cannot represent, exported to
+Prometheus as its last value.
+
+Everything is label-aware: ``counter.inc(3, fmt="csr")`` keeps one
+sample per distinct label set.  All mutation goes through a per-registry
+lock, so concurrent solves can share one registry.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.util.errors import InvalidValue
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+#: Default latency-style histogram buckets (seconds).
+DEFAULT_BUCKETS = (
+    0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0,
+)
+
+#: Default bound on stored series points (drops oldest beyond this).
+SERIES_MAXLEN = 10_000
+
+
+def _label_key(labels: Mapping[str, Any]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _labels_dict(key: LabelKey) -> Dict[str, str]:
+    return dict(key)
+
+
+class Metric:
+    """Base: one named metric family holding per-label-set samples."""
+
+    type_name = "untyped"
+
+    def __init__(self, name: str, help: str = ""):
+        if not name or not name.replace("_", "a").isalnum():
+            raise InvalidValue(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help
+        self._samples: Dict[LabelKey, Any] = {}
+        self._lock = threading.Lock()
+
+    def labels(self) -> List[Dict[str, str]]:
+        with self._lock:
+            return [_labels_dict(k) for k in self._samples]
+
+    def _sample_dicts(self) -> List[Dict[str, Any]]:
+        raise NotImplementedError
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "type": self.type_name,
+            "help": self.help,
+            "samples": self._sample_dicts(),
+        }
+
+
+class Counter(Metric):
+    """Monotonically increasing value per label set."""
+
+    type_name = "counter"
+
+    def inc(self, value: float = 1.0, **labels: Any) -> None:
+        if value < 0:
+            raise InvalidValue(f"counter increment must be >= 0: {value}")
+        key = _label_key(labels)
+        with self._lock:
+            self._samples[key] = self._samples.get(key, 0.0) + value
+
+    def value(self, **labels: Any) -> float:
+        with self._lock:
+            return self._samples.get(_label_key(labels), 0.0)
+
+    def _sample_dicts(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return [{"labels": _labels_dict(k), "value": v}
+                    for k, v in sorted(self._samples.items())]
+
+
+class Gauge(Metric):
+    """Last-write-wins value per label set."""
+
+    type_name = "gauge"
+
+    def set(self, value: float, **labels: Any) -> None:
+        with self._lock:
+            self._samples[_label_key(labels)] = float(value)
+
+    def value(self, **labels: Any) -> Optional[float]:
+        with self._lock:
+            return self._samples.get(_label_key(labels))
+
+    def _sample_dicts(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return [{"labels": _labels_dict(k), "value": v}
+                    for k, v in sorted(self._samples.items())]
+
+
+class Histogram(Metric):
+    """Cumulative-bucket histogram per label set."""
+
+    type_name = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: Sequence[float] = DEFAULT_BUCKETS):
+        super().__init__(name, help)
+        if not buckets or list(buckets) != sorted(buckets):
+            raise InvalidValue("histogram buckets must be ascending")
+        self.buckets = tuple(float(b) for b in buckets)
+
+    def observe(self, value: float, **labels: Any) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            sample = self._samples.get(key)
+            if sample is None:
+                sample = self._samples[key] = {
+                    "counts": [0] * (len(self.buckets) + 1),
+                    "sum": 0.0,
+                    "count": 0,
+                }
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    sample["counts"][i] += 1
+                    break
+            else:
+                sample["counts"][-1] += 1
+            sample["sum"] += float(value)
+            sample["count"] += 1
+
+    def _sample_dicts(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return [
+                {
+                    "labels": _labels_dict(k),
+                    "buckets": list(self.buckets),
+                    "counts": list(v["counts"]),
+                    "sum": v["sum"],
+                    "count": v["count"],
+                }
+                for k, v in sorted(self._samples.items())
+            ]
+
+
+class Series(Metric):
+    """An ordered trajectory of observations per label set.
+
+    Bounded at ``maxlen`` points (oldest dropped, drops counted) so an
+    always-on registry cannot grow without bound; a single solve's
+    residual history sits far below the default bound.
+    """
+
+    type_name = "series"
+
+    def __init__(self, name: str, help: str = "",
+                 maxlen: int = SERIES_MAXLEN):
+        super().__init__(name, help)
+        if maxlen < 1:
+            raise InvalidValue(f"series maxlen must be >= 1, got {maxlen}")
+        self.maxlen = maxlen
+
+    def observe(self, value: float, **labels: Any) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            sample = self._samples.get(key)
+            if sample is None:
+                sample = self._samples[key] = {"values": [], "dropped": 0}
+            sample["values"].append(float(value))
+            if len(sample["values"]) > self.maxlen:
+                del sample["values"][0]
+                sample["dropped"] += 1
+
+    def values(self, **labels: Any) -> List[float]:
+        with self._lock:
+            sample = self._samples.get(_label_key(labels))
+            return list(sample["values"]) if sample else []
+
+    def _sample_dicts(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return [
+                {
+                    "labels": _labels_dict(k),
+                    "values": list(v["values"]),
+                    "dropped": v["dropped"],
+                }
+                for k, v in sorted(self._samples.items())
+            ]
+
+
+_TYPES = {cls.type_name: cls for cls in (Counter, Gauge, Histogram, Series)}
+
+
+class MetricsRegistry:
+    """A named collection of metrics with JSON and Prometheus export."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, cls, name: str, help: str, **kwargs) -> Metric:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = cls(name, help, **kwargs)
+            elif not isinstance(metric, cls):
+                raise InvalidValue(
+                    f"metric {name!r} already registered as "
+                    f"{metric.type_name}, requested {cls.type_name}"
+                )
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        return self._get(Histogram, name, help, buckets=buckets)
+
+    def series(self, name: str, help: str = "",
+               maxlen: int = SERIES_MAXLEN) -> Series:
+        return self._get(Series, name, help, maxlen=maxlen)
+
+    def get(self, name: str) -> Optional[Metric]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+
+    # --- export --------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """All metrics as one JSON-able dict (stable ordering)."""
+        with self._lock:
+            metrics = dict(self._metrics)
+        return {name: metrics[name].snapshot() for name in sorted(metrics)}
+
+    @classmethod
+    def from_snapshot(cls, snapshot: Mapping[str, Any]) -> "MetricsRegistry":
+        """Rebuild a registry whose :meth:`snapshot` equals ``snapshot``.
+
+        The round trip is the test of the format: every sample (labels,
+        values, bucket counts, trajectories) must survive
+        ``snapshot -> json -> from_snapshot -> snapshot`` unchanged.
+        """
+        registry = cls()
+        for name, data in snapshot.items():
+            type_name = data.get("type")
+            if type_name not in _TYPES:
+                raise InvalidValue(
+                    f"metric {name!r} has unknown type {type_name!r}"
+                )
+            help_text = data.get("help", "")
+            for sample in data.get("samples", []):
+                labels = sample.get("labels", {})
+                if type_name == "counter":
+                    registry.counter(name, help_text).inc(
+                        sample["value"], **labels)
+                elif type_name == "gauge":
+                    registry.gauge(name, help_text).set(
+                        sample["value"], **labels)
+                elif type_name == "histogram":
+                    metric = registry.histogram(
+                        name, help_text, buckets=sample["buckets"])
+                    key = _label_key(labels)
+                    with metric._lock:
+                        metric._samples[key] = {
+                            "counts": list(sample["counts"]),
+                            "sum": sample["sum"],
+                            "count": sample["count"],
+                        }
+                else:  # series
+                    metric = registry.series(name, help_text)
+                    key = _label_key(labels)
+                    with metric._lock:
+                        metric._samples[key] = {
+                            "values": [float(v) for v in sample["values"]],
+                            "dropped": sample.get("dropped", 0),
+                        }
+                # type conflicts across samples surface via _get above
+            if not data.get("samples"):
+                registry._get(_TYPES[type_name], name, help_text)
+        return registry
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition (format version 0.0.4)."""
+        lines: List[str] = []
+        snapshot = self.snapshot()
+        for name, data in snapshot.items():
+            if data["help"]:
+                lines.append(f"# HELP {name} {data['help']}")
+            prom_type = ("gauge" if data["type"] == "series"
+                         else data["type"])
+            lines.append(f"# TYPE {name} {prom_type}")
+            for sample in data["samples"]:
+                labels = sample.get("labels", {})
+                if data["type"] in ("counter", "gauge"):
+                    lines.append(_prom_line(name, labels, sample["value"]))
+                elif data["type"] == "series":
+                    values = sample["values"]
+                    if values:
+                        lines.append(_prom_line(name, labels, values[-1]))
+                else:  # histogram: cumulative buckets + sum + count
+                    cumulative = 0
+                    for bound, count in zip(sample["buckets"],
+                                            sample["counts"]):
+                        cumulative += count
+                        lines.append(_prom_line(
+                            f"{name}_bucket", {**labels, "le": repr(bound)},
+                            cumulative))
+                    cumulative += sample["counts"][-1]
+                    lines.append(_prom_line(
+                        f"{name}_bucket", {**labels, "le": "+Inf"},
+                        cumulative))
+                    lines.append(_prom_line(
+                        f"{name}_sum", labels, sample["sum"]))
+                    lines.append(_prom_line(
+                        f"{name}_count", labels, sample["count"]))
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _prom_line(name: str, labels: Mapping[str, str], value: Any) -> str:
+    if labels:
+        body = ",".join(
+            f'{k}="{_prom_escape(str(v))}"' for k, v in sorted(labels.items())
+        )
+        return f"{name}{{{body}}} {value}"
+    return f"{name} {value}"
+
+
+def _prom_escape(value: str) -> str:
+    return (value.replace("\\", r"\\").replace('"', r'\"')
+            .replace("\n", r"\n"))

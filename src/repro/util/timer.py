@@ -26,13 +26,23 @@ class Timer:
     name: str
     total: float = 0.0
     count: int = 0
+    _measuring: bool = field(default=False, repr=False, compare=False)
 
     @contextmanager
     def measure(self) -> Iterator["Timer"]:
+        # Re-entrant measurement of one timer double-counts the outer
+        # elapsed interval — a silent corruption of every breakdown
+        # figure — so it is an error, not a merge.
+        if self._measuring:
+            raise RuntimeError(
+                f"re-entrant measure() on timer {self.name!r}"
+            )
+        self._measuring = True
         start = time.perf_counter()
         try:
             yield self
         finally:
+            self._measuring = False
             self.total += time.perf_counter() - start
             self.count += 1
 
@@ -81,8 +91,36 @@ class TimerRegistry:
         for t in self.timers.values():
             t.reset()
 
-    def as_dict(self) -> Dict[str, float]:
+    def as_dict(self, counts: bool = False) -> Dict[str, object]:
+        """Label → seconds; with ``counts=True``, label → (seconds, calls)."""
+        if counts:
+            return {name: (t.total, t.count)
+                    for name, t in sorted(self.timers.items())}
         return {name: t.total for name, t in sorted(self.timers.items())}
+
+    def merge(self, other: "TimerRegistry") -> "TimerRegistry":
+        """Fold another registry's totals and counts into this one."""
+        for name, timer in other.timers.items():
+            mine = self.get(name)
+            mine.total += timer.total
+            mine.count += timer.count
+        return self
+
+    def rollup(self, depth: int = 1, sep: str = "/") -> Dict[str, float]:
+        """Totals aggregated to the first ``depth`` label segments.
+
+        ``mg/L0/rbgs`` and ``mg/L0/restrict`` both land under ``mg`` at
+        depth 1 (or ``mg/L0`` at depth 2).  Each leaf timer contributes
+        to exactly one rollup bucket, so lifting the rollup into obs
+        spans never double-counts a leaf.
+        """
+        if depth < 1:
+            raise ValueError(f"rollup depth must be >= 1, got {depth}")
+        out: Dict[str, float] = {}
+        for name, t in self.timers.items():
+            key = sep.join(name.split(sep)[:depth])
+            out[key] = out.get(key, 0.0) + t.total
+        return dict(sorted(out.items()))
 
     def report(self, min_fraction: float = 0.0) -> str:
         """Human-readable table sorted by descending total time."""

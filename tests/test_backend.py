@@ -75,3 +75,37 @@ class TestEventLog:
         log(PerfEvent("mxv", 1, 1, 1, 1))
         log.clear()
         assert log.count() == 0
+
+    def test_by_format_aggregates(self):
+        log = EventLog()
+        log(PerfEvent("mxv", 1, 1, 1, 100, fmt="csr"))
+        log(PerfEvent("mxv", 1, 1, 1, 50, fmt="csr"))
+        log(PerfEvent("mxv", 1, 1, 1, 7, fmt="sellcs"))
+        log(PerfEvent("dot", 1, 0, 1, 3))
+        assert log.by_format() == {"csr": 150, "sellcs": 7, "": 3}
+
+    def test_by_format_tolerates_reduced_events(self):
+        class Reduced:       # a third-party event: bytes only, no fmt
+            bytes = 42
+
+        log = EventLog()
+        log(PerfEvent("mxv", 1, 1, 1, 100, fmt="csr"))
+        log.events.append(Reduced())
+        assert log.by_format("bytes") == {"csr": 100, "": 42}
+        # a field the reduced event lacks contributes 0, not a crash
+        assert log.by_format("flops") == {"csr": 1, "": 0}
+        assert log.total("flops") == 1
+
+
+class TestRecordLabelFallback:
+    def test_explicit_label_used_when_stack_empty(self):
+        log = EventLog()
+        with backend.collect(log):
+            backend.record("fused_mxv_lambda", 1, 1, 1, 1, label="rbgs@L2")
+        assert log.events[0].label == "rbgs@L2"
+
+    def test_enclosing_labelled_scope_wins(self):
+        log = EventLog()
+        with backend.collect(log), backend.labelled("outer"):
+            backend.record("fused_mxv_lambda", 1, 1, 1, 1, label="rbgs@L2")
+        assert log.events[0].label == "outer"

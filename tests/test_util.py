@@ -79,6 +79,60 @@ class TestTimerRegistry:
         reg.reset()
         assert reg.total("") == 0.0
 
+    def test_as_dict_with_counts(self):
+        reg = TimerRegistry()
+        reg.tick("a", 1.0)
+        reg.tick("a", 2.0)
+        assert reg.as_dict(counts=True) == {"a": (3.0, 2)}
+
+    def test_merge_folds_totals_and_counts(self):
+        a, b = TimerRegistry(), TimerRegistry()
+        a.tick("shared", 1.0)
+        b.tick("shared", 2.0)
+        b.tick("only_b", 4.0)
+        assert a.merge(b) is a
+        assert a.as_dict(counts=True) == {
+            "shared": (3.0, 2), "only_b": (4.0, 1),
+        }
+        # the source registry is untouched
+        assert b.as_dict() == {"only_b": 4.0, "shared": 2.0}
+
+    def test_rollup_by_prefix_depth(self):
+        reg = TimerRegistry()
+        reg.tick("mg/L0/rbgs", 1.0)
+        reg.tick("mg/L0/restrict", 2.0)
+        reg.tick("mg/L1/rbgs", 4.0)
+        reg.tick("cg/dot", 8.0)
+        assert reg.rollup() == {"cg": 8.0, "mg": 7.0}
+        assert reg.rollup(depth=2) == {
+            "cg/dot": 8.0, "mg/L0": 3.0, "mg/L1": 4.0,
+        }
+        # every leaf lands in exactly one bucket at every depth
+        assert sum(reg.rollup().values()) == reg.total("")
+        with pytest.raises(ValueError):
+            reg.rollup(depth=0)
+
+    def test_reentrant_measure_rejected(self):
+        t = Timer("x")
+        with pytest.raises(RuntimeError, match="re-entrant"):
+            with t.measure():
+                with t.measure():
+                    pass
+        # the guard resets, so the timer stays usable afterwards
+        with t.measure():
+            pass
+        assert t.count == 2  # the failed outer exit still counted once
+
+    def test_registry_reentrant_guard_through_measure(self):
+        reg = TimerRegistry()
+        with pytest.raises(RuntimeError):
+            with reg.measure("k"):
+                with reg.measure("k"):
+                    pass
+        # distinct labels nest fine (the mg/L{i} recursion pattern)
+        with reg.measure("outer"), reg.measure("inner"):
+            pass
+
 
 class TestNullTimer:
     def test_noop_everything(self):
