@@ -24,9 +24,18 @@ Two checks, in decreasing portability:
    so a host mismatch downgrades this check to an informational note
    instead of silently failing on every new CI runner.
 
+With ``--triage OLD_TRACE NEW_TRACE`` a failing check additionally
+runs the :mod:`repro.obs.analyze` trace differ over the two
+``trace.json`` artifacts and attaches the ranked span-level diff to
+the failure output — "which span regressed, and was it execution or
+the cost model" — so the human reading a red build starts from the
+attribution, not from two raw JSON files.  ``--triage-json PATH``
+saves the machine-readable diff for the CI artifact upload.
+
 Exit status: 0 when every enforced check passes, 1 otherwise.
-Stdlib-only on purpose — CI calls it before the package environment is
-proven healthy.
+The gate itself is stdlib-only on purpose — CI calls it before the
+package environment is proven healthy; only the optional triage step
+imports ``repro.obs`` (and degrades to a note when it cannot).
 """
 
 from __future__ import annotations
@@ -103,6 +112,34 @@ def check_wall_clock(baseline: Dict, fresh: Dict,
     return failures, compared
 
 
+def triage(old_trace: str, new_trace: str,
+           json_out: str = None) -> List[str]:
+    """Span-level attribution of a regression: the trace diff, as lines.
+
+    Never raises: a missing trace file or an unimportable ``repro.obs``
+    degrades to an explanatory note, so triage can only add signal to
+    a failure, never mask one.
+    """
+    try:
+        from repro.obs import analyze, export
+    except ImportError as exc:   # package not installed: note, don't fail
+        return [f"(triage unavailable: cannot import repro.obs: {exc})"]
+    try:
+        diff = analyze.diff_traces(old_trace, new_trace)
+    except Exception as exc:
+        return [f"(triage failed on {old_trace} vs {new_trace}: {exc})"]
+    lines = [f"span-level triage ({old_trace} -> {new_trace}):"]
+    lines.extend(analyze.format_table(diff, top=10).splitlines())
+    lines.append(f"attribution: {analyze.summarize(diff)}")
+    if json_out:
+        try:
+            export.write_json(json_out, diff.as_dict())
+            lines.append(f"machine-readable triage -> {json_out}")
+        except OSError as exc:
+            lines.append(f"(could not write {json_out}: {exc})")
+    return lines
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="fail CI when the perf smoke regresses vs a baseline")
@@ -111,6 +148,13 @@ def main(argv=None) -> int:
     parser.add_argument("--max-regression", type=float, default=0.25,
                         help="allowed fractional wall-clock regression "
                              "when hosts match (default 0.25 = +25%%)")
+    parser.add_argument("--triage", nargs=2,
+                        metavar=("OLD_TRACE", "NEW_TRACE"), default=None,
+                        help="on failure, attach a span-level trace diff "
+                             "of these two trace.json artifacts")
+    parser.add_argument("--triage-json", metavar="PATH", default=None,
+                        help="with --triage, also save the machine-"
+                             "readable diff here")
     args = parser.parse_args(argv)
     baseline = load(args.baseline)
     fresh = load(args.fresh)
@@ -140,8 +184,14 @@ def main(argv=None) -> int:
         print("TREND CHECK FAILED:")
         for failure in failures:
             print(f"  - {failure}")
+        if args.triage:
+            for line in triage(args.triage[0], args.triage[1],
+                               json_out=args.triage_json):
+                print(f"  {line}")
         return 1
     print("trend check passed")
+    if args.triage:
+        print("(no regression; span-level triage skipped)")
     return 0
 
 

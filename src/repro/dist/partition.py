@@ -14,6 +14,12 @@ Four schemes, matching the paper's §VII-B design space:
 :func:`halo_for_owners` derives, for any ownership vector, exactly
 which remote vector entries every node must receive before a local
 ``A x`` — the halo the executors in :mod:`repro.dist.halo` exchange.
+
+Partition construction and halo derivation run inside
+``dist/partition/*`` observability spans (carrying ``n``/``p`` and,
+for halos, the derived remote-entry count), so setup cost is
+attributable in trace diffs and flamegraphs next to the solve it
+feeds.
 """
 
 from __future__ import annotations
@@ -22,6 +28,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.grid import Grid3D
 from repro.util.errors import InvalidValue
 
@@ -128,10 +135,13 @@ class Grid3DPartition:
             raise InvalidValue(
                 f"grid {grid.dims} not divisible by process grid {shape}"
             )
-        self.grid = grid
-        self.p = p
-        self.shape = (px, py, pz)
-        self.local_dims = (grid.nx // px, grid.ny // py, grid.nz // pz)
+        with obs.span("dist/partition/grid3d", "dist",
+                      {"n": grid.npoints, "p": p,
+                       "shape": f"{px}x{py}x{pz}"}):
+            self.grid = grid
+            self.p = p
+            self.shape = (px, py, pz)
+            self.local_dims = (grid.nx // px, grid.ny // py, grid.nz // pz)
 
     def owner(self, indices) -> np.ndarray:
         ix, iy, iz = self.grid.coords(np.asarray(indices, dtype=np.int64))
@@ -174,31 +184,36 @@ def halo_for_owners(
     """
     owners = np.asarray(owners, dtype=np.int64)
     n = owners.shape[0]
-    row_nnz = np.diff(indptr).astype(np.int64)
-    dst = np.repeat(owners, row_nnz)
-    cols = np.asarray(indices, dtype=np.int64)
-    remote = owners[cols] != dst
-    if not remote.any():
-        return {}
-    # unique (dst, column) pairs; the column's owner is the source
-    key = dst[remote] * n + cols[remote]
-    uniq = np.unique(key)
-    u_dst = uniq // n
-    u_col = uniq % n
-    u_src = owners[u_col]
-    out: Dict[Tuple[int, int], np.ndarray] = {}
-    pair = u_src * p + u_dst
-    order = np.argsort(pair, kind="stable")
-    pair_sorted = pair[order]
-    col_sorted = u_col[order]
-    boundaries = np.flatnonzero(np.diff(pair_sorted)) + 1
-    starts = np.concatenate(([0], boundaries))
-    ends = np.concatenate((boundaries, [pair_sorted.size]))
-    for s, e in zip(starts, ends):
-        src = int(pair_sorted[s]) // p
-        dst_k = int(pair_sorted[s]) % p
-        out[(src, dst_k)] = np.sort(col_sorted[s:e])
-    return out
+    with obs.span("dist/partition/halo", "dist", {"n": n, "p": p}) as span:
+        row_nnz = np.diff(indptr).astype(np.int64)
+        dst = np.repeat(owners, row_nnz)
+        cols = np.asarray(indices, dtype=np.int64)
+        remote = owners[cols] != dst
+        if not remote.any():
+            if span is not None:
+                span.set(remote_entries=0, pairs=0)
+            return {}
+        # unique (dst, column) pairs; the column's owner is the source
+        key = dst[remote] * n + cols[remote]
+        uniq = np.unique(key)
+        u_dst = uniq // n
+        u_col = uniq % n
+        u_src = owners[u_col]
+        out: Dict[Tuple[int, int], np.ndarray] = {}
+        pair = u_src * p + u_dst
+        order = np.argsort(pair, kind="stable")
+        pair_sorted = pair[order]
+        col_sorted = u_col[order]
+        boundaries = np.flatnonzero(np.diff(pair_sorted)) + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [pair_sorted.size]))
+        for s, e in zip(starts, ends):
+            src = int(pair_sorted[s]) // p
+            dst_k = int(pair_sorted[s]) % p
+            out[(src, dst_k)] = np.sort(col_sorted[s:e])
+        if span is not None:
+            span.set(remote_entries=int(uniq.size), pairs=len(out))
+        return out
 
 
 def bfs_partition(indptr: np.ndarray, indices: np.ndarray,
@@ -213,25 +228,26 @@ def bfs_partition(indptr: np.ndarray, indices: np.ndarray,
     """
     if p < 1:
         raise InvalidValue(f"need at least one node, got {p}")
-    visit_rank = np.full(n, -1, dtype=np.int64)
-    seen = np.zeros(n, dtype=bool)
-    order = np.empty(n, dtype=np.int64)
-    count = 0
-    for seed in range(n):
-        if seen[seed]:
-            continue
-        queue = [seed]
-        seen[seed] = True
-        while queue:
-            next_queue = []
-            for i in queue:
-                order[count] = i
-                count += 1
-                for j in indices[indptr[i]:indptr[i + 1]]:
-                    if not seen[j]:
-                        seen[j] = True
-                        next_queue.append(int(j))
-            queue = next_queue
-    visit_rank[order] = np.arange(n, dtype=np.int64)
-    chunks = Block1D(n, p)
-    return chunks.owner(visit_rank)
+    with obs.span("dist/partition/bfs", "dist", {"n": n, "p": p}):
+        visit_rank = np.full(n, -1, dtype=np.int64)
+        seen = np.zeros(n, dtype=bool)
+        order = np.empty(n, dtype=np.int64)
+        count = 0
+        for seed in range(n):
+            if seen[seed]:
+                continue
+            queue = [seed]
+            seen[seed] = True
+            while queue:
+                next_queue = []
+                for i in queue:
+                    order[count] = i
+                    count += 1
+                    for j in indices[indptr[i]:indptr[i + 1]]:
+                        if not seen[j]:
+                            seen[j] = True
+                            next_queue.append(int(j))
+                queue = next_queue
+        visit_rank[order] = np.arange(n, dtype=np.int64)
+        chunks = Block1D(n, p)
+        return chunks.owner(visit_rank)

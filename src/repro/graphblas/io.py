@@ -2,6 +2,9 @@
 
 These utilities live at the I/O boundary, where GraphBLAS permits
 non-opaque data exchange (``GrB_Matrix_build`` / ``extractTuples``).
+Ingestion and export run inside ``io/*`` observability spans carrying
+the container shape, so slow file I/O is attributable in trace diffs
+and flamegraphs next to the kernels it feeds.
 """
 
 from __future__ import annotations
@@ -12,6 +15,7 @@ from typing import Optional, Tuple, Union
 
 import numpy as np
 
+from repro import obs
 from repro.graphblas.matrix import Matrix
 from repro.graphblas.vector import Vector
 from repro.util.errors import InvalidValue
@@ -19,43 +23,48 @@ from repro.util.errors import InvalidValue
 
 def mmwrite(target: Union[str, Path, _io.TextIOBase], A: Matrix, comment: str = "") -> None:
     """Write a matrix in MatrixMarket coordinate format (1-based)."""
-    rows, cols, vals = A.to_coo()
-    lines = ["%%MatrixMarket matrix coordinate real general"]
-    if comment:
-        lines.extend(f"% {line}" for line in comment.splitlines())
-    lines.append(f"{A.nrows} {A.ncols} {A.nvals}")
-    lines.extend(
-        f"{r + 1} {c + 1} {v:.17g}" for r, c, v in zip(rows, cols, vals)
-    )
-    text = "\n".join(lines) + "\n"
-    if isinstance(target, (str, Path)):
-        Path(target).write_text(text)
-    else:
-        target.write(text)
+    with obs.span("io/mmwrite", "io",
+                  {"nrows": A.nrows, "ncols": A.ncols, "nnz": A.nvals}):
+        rows, cols, vals = A.to_coo()
+        lines = ["%%MatrixMarket matrix coordinate real general"]
+        if comment:
+            lines.extend(f"% {line}" for line in comment.splitlines())
+        lines.append(f"{A.nrows} {A.ncols} {A.nvals}")
+        lines.extend(
+            f"{r + 1} {c + 1} {v:.17g}" for r, c, v in zip(rows, cols, vals)
+        )
+        text = "\n".join(lines) + "\n"
+        if isinstance(target, (str, Path)):
+            Path(target).write_text(text)
+        else:
+            target.write(text)
 
 
 def mmread(source: Union[str, Path, _io.TextIOBase]) -> Matrix:
     """Read a MatrixMarket coordinate file written by :func:`mmwrite`."""
-    if isinstance(source, (str, Path)):
-        text = Path(source).read_text()
-    else:
-        text = source.read()
-    lines = [ln for ln in text.splitlines() if ln.strip()]
-    if not lines or not lines[0].startswith("%%MatrixMarket"):
-        raise InvalidValue("not a MatrixMarket file")
-    body = [ln for ln in lines[1:] if not ln.startswith("%")]
-    nrows, ncols, nnz = (int(tok) for tok in body[0].split())
-    if len(body) - 1 != nnz:
-        raise InvalidValue(
-            f"expected {nnz} entries, found {len(body) - 1}"
-        )
-    rows = np.empty(nnz, dtype=np.int64)
-    cols = np.empty(nnz, dtype=np.int64)
-    vals = np.empty(nnz, dtype=np.float64)
-    for k, ln in enumerate(body[1:]):
-        r, c, v = ln.split()
-        rows[k], cols[k], vals[k] = int(r) - 1, int(c) - 1, float(v)
-    return Matrix.from_coo(rows, cols, vals, nrows, ncols)
+    with obs.span("io/mmread", "io") as span:
+        if isinstance(source, (str, Path)):
+            text = Path(source).read_text()
+        else:
+            text = source.read()
+        lines = [ln for ln in text.splitlines() if ln.strip()]
+        if not lines or not lines[0].startswith("%%MatrixMarket"):
+            raise InvalidValue("not a MatrixMarket file")
+        body = [ln for ln in lines[1:] if not ln.startswith("%")]
+        nrows, ncols, nnz = (int(tok) for tok in body[0].split())
+        if len(body) - 1 != nnz:
+            raise InvalidValue(
+                f"expected {nnz} entries, found {len(body) - 1}"
+            )
+        if span is not None:
+            span.set(nrows=nrows, ncols=ncols, nnz=nnz)
+        rows = np.empty(nnz, dtype=np.int64)
+        cols = np.empty(nnz, dtype=np.int64)
+        vals = np.empty(nnz, dtype=np.float64)
+        for k, ln in enumerate(body[1:]):
+            r, c, v = ln.split()
+            rows[k], cols[k], vals[k] = int(r) - 1, int(c) - 1, float(v)
+        return Matrix.from_coo(rows, cols, vals, nrows, ncols)
 
 
 def random_matrix(

@@ -290,9 +290,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--manifest-json", metavar="PATH", default=None,
                         help="write the run-provenance manifest as JSON "
                              "(implies tracing on)")
+    parser.add_argument("--compare-trace", metavar="BASELINE", default=None,
+                        help="diff this run's trace against a baseline "
+                             "trace.json and print the span-level deltas "
+                             "(implies tracing on)")
     args = parser.parse_args(argv)
     want_artifacts = bool(
         args.trace_json or args.metrics_json or args.manifest_json
+        or args.compare_trace
     )
     with contextlib.ExitStack() as scope:
         if want_artifacts:
@@ -330,11 +335,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.manifest_json:
             print(f"  manifest-> "
                   f"{obs.export.write_manifest(args.manifest_json, obs_ctx.build_manifest())}")
+    trace_diff = None
+    if args.compare_trace and obs_ctx is not None:
+        trace_diff = obs.analyze.diff_traces(
+            args.compare_trace, obs_ctx.tracer.as_dicts())
+        print(f"trace comparison vs {args.compare_trace}:")
+        print(obs.analyze.format_table(trace_diff, top=10))
+        print(f"attribution: {obs.analyze.summarize(trace_diff)}")
     if args.timers:
         print(result.timers.report())
     if args.report:
         from repro.hpcg.report import render_report
-        print(render_report(result, profile=profile, obs_ctx=obs_ctx))
+        print(render_report(result, profile=profile, obs_ctx=obs_ctx,
+                            trace_diff=trace_diff,
+                            trace_baseline=args.compare_trace))
     return 0 if result.symmetry.passed else 1
 
 

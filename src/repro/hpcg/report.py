@@ -15,7 +15,8 @@ from typing import Dict, Optional
 from repro.hpcg.driver import HPCGResult
 
 
-def to_dict(result: HPCGResult, profile=None, obs_ctx=None) -> Dict:
+def to_dict(result: HPCGResult, profile=None, obs_ctx=None,
+            trace_diff=None, trace_baseline=None) -> Dict:
     """The report as a nested dictionary.
 
     ``profile`` (a :class:`repro.tune.MachineProfile`) adds a "Machine
@@ -23,6 +24,10 @@ def to_dict(result: HPCGResult, profile=None, obs_ctx=None) -> Dict:
     the run — the official report likewise names its machine.
     ``obs_ctx`` (a :class:`repro.obs.RunContext`) adds an
     "Observability" section identifying the trace the run produced.
+    ``trace_diff`` (a :class:`repro.obs.TraceDiff`, from the driver's
+    ``--compare-trace``) adds a "Trace Comparison" section: the
+    significant per-span movers against the baseline trace, each with
+    its execution-vs-model attribution verdict.
     """
     problem = result.problem
     counts = result.flops.merged()
@@ -66,6 +71,24 @@ def to_dict(result: HPCGResult, profile=None, obs_ctx=None) -> Dict:
                 "Substrate Decisions": len(obs_ctx.manifest.decisions),
             }
         }
+    diff_section = {}
+    if trace_diff is not None:
+        significant = trace_diff.significant_rows()
+        movers = {}
+        for row in significant[:5]:
+            old_self = row.old.wall_self if row.old else 0.0
+            new_self = row.new.wall_self if row.new else 0.0
+            movers[row.key] = (
+                f"{old_self:.4f}s -> {new_self:.4f}s ({row.verdict})"
+            )
+        diff_section = {
+            "Trace Comparison": {
+                "Baseline": trace_baseline or "(baseline trace)",
+                "Aggregated By": trace_diff.by,
+                "Significant Deltas": len(significant),
+                **({"Top Movers": movers} if movers else {}),
+            }
+        }
     return {
         "HPCG-Benchmark": {
             "version": "repro-python",
@@ -106,6 +129,7 @@ def to_dict(result: HPCGResult, profile=None, obs_ctx=None) -> Dict:
             },
             **machine_section,
             **obs_section,
+            **diff_section,
             "Final Summary": {
                 "HPCG result is": "VALID" if result.symmetry.passed else "INVALID",
                 "GFLOP/s rating of": round(result.gflops, 6),
@@ -126,6 +150,9 @@ def _render(node, indent: int = 0) -> str:
     return "\n".join(lines)
 
 
-def render_report(result: HPCGResult, profile=None, obs_ctx=None) -> str:
+def render_report(result: HPCGResult, profile=None, obs_ctx=None,
+                  trace_diff=None, trace_baseline=None) -> str:
     """The report as YAML-formatted text (official-report lookalike)."""
-    return _render(to_dict(result, profile=profile, obs_ctx=obs_ctx))
+    return _render(to_dict(result, profile=profile, obs_ctx=obs_ctx,
+                           trace_diff=trace_diff,
+                           trace_baseline=trace_baseline))

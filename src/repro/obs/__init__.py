@@ -31,12 +31,24 @@ explicitly::
 Instrumented seams: the HPCG driver (phases), the CG loop (per
 iteration + residual series), multigrid (per level), smoothers (per
 sweep, fused or reference), the simulated dist engine (per superstep,
-with exposed-vs-hidden comm), and the substrate registry (selection
-decisions).  Spans observe — they never change the numerics, and
-residual histories are byte-identical traced or untraced.
+with exposed-vs-hidden comm), the substrate registry (selection
+decisions), the tune micro-benchmark probes, MatrixMarket I/O and the
+dist partitioners.  Spans observe — they never change the numerics,
+and residual histories are byte-identical traced or untraced.
+
+The **consumer side** (``python -m repro.obs diff|flame|top|
+diff-manifest``) turns those artifacts into answers:
+:mod:`repro.obs.analyze` diffs two traces per span name / MG level /
+category with noise thresholds and execution-vs-model attribution,
+:mod:`repro.obs.flame` collapses span stacks into folded flamegraph
+format (either clock), and :mod:`repro.obs.manifest_diff` explains
+"why is this run different" from two manifests.
 """
 
-from repro.obs import export, manifest, metrics, trace
+from repro.obs import analyze, export, flame, manifest, manifest_diff, metrics, trace
+from repro.obs.analyze import SpanStats, TraceDiff, diff_traces
+from repro.obs.flame import folded_stacks, parse_folded
+from repro.obs.manifest_diff import diff_manifests
 from repro.obs.context import (
     ENV_TRACE,
     RunContext,
@@ -76,19 +88,28 @@ __all__ = [
     "Series",
     "SpanHandle",
     "SpanRecord",
+    "SpanStats",
+    "TraceDiff",
     "Tracer",
     "activate",
+    "analyze",
     "build_manifest",
     "current",
     "deactivate",
+    "diff_manifests",
+    "diff_traces",
     "disabled",
     "enabled",
     "event",
     "export",
+    "flame",
+    "folded_stacks",
     "manifest",
+    "manifest_diff",
     "manifest_recorder",
     "metrics",
     "metrics_registry",
+    "parse_folded",
     "record_selection",
     "reset",
     "run",

@@ -126,10 +126,39 @@ def write_manifest(path: str, manifest: Dict[str, Any]) -> str:
 
 # --- file-level validation (the CI gate) ------------------------------------
 
-def validate_file(path: str, kind: str) -> None:
-    """Validate a written artifact: ``kind`` in trace/metrics/manifest."""
+def sniff_kind(payload: Dict[str, Any]) -> str:
+    """Which artifact kind a loaded JSON document looks like.
+
+    Used by ``python -m repro.obs validate`` when paths are given
+    without ``--trace/--metrics/--manifest`` tags: traces carry
+    ``traceEvents``, metrics carry a ``metrics`` object with a schema
+    version, manifests carry the required provenance keys.
+    """
+    if not isinstance(payload, dict):
+        raise InvalidValue("artifact must be a JSON object")
+    if "traceEvents" in payload:
+        return "trace"
+    if "metrics" in payload and "schema_version" in payload:
+        return "metrics"
+    if "toggles" in payload and "substrate_decisions" in payload:
+        return "manifest"
+    raise InvalidValue(
+        "unrecognised artifact: expected a trace (traceEvents), "
+        "metrics snapshot (schema_version + metrics), or manifest "
+        "(toggles + substrate_decisions)"
+    )
+
+
+def validate_file(path: str, kind: str = "auto") -> str:
+    """Validate a written artifact; returns the (possibly sniffed) kind.
+
+    ``kind`` is ``trace``/``metrics``/``manifest``, or ``auto`` to
+    sniff it from the document's shape.
+    """
     with open(path, "r", encoding="utf-8") as fh:
         payload = json.load(fh)
+    if kind == "auto":
+        kind = sniff_kind(payload)
     if kind == "trace":
         validate_chrome_trace(payload)
     elif kind == "metrics":
@@ -138,3 +167,4 @@ def validate_file(path: str, kind: str) -> None:
         validate_manifest(payload)
     else:
         raise InvalidValue(f"unknown artifact kind {kind!r}")
+    return kind

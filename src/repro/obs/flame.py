@@ -1,0 +1,127 @@
+"""Flamegraph export: span stacks in Brendan Gregg's folded format.
+
+Each recorded span knows its parent, so the trace is a forest; this
+module collapses it into the classic ``root;child;leaf count`` lines
+that ``flamegraph.pl``, speedscope, and most profiler UIs ingest
+directly.  Counts are **self time in integer microseconds** — the time
+a stack spent in its leaf frame itself — on either clock:
+
+* ``clock="wall"`` — where the machine's time went;
+* ``clock="modelled"`` — where the BSP cost model's time went (a
+  simulated 64-node run's flamegraph, from a laptop).
+
+No SVG toolchain is required to *look* at a profile:
+:func:`render_top` draws a ranked terminal view with unicode bars
+(``python -m repro.obs flame trace.json --top 20``), and
+:func:`parse_folded` reads folded lines back, so the format
+round-trips — the property the tests pin.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Sequence
+
+from repro.util.errors import InvalidValue
+
+CLOCKS = ("wall", "modelled")
+
+
+def _clock_field(clock: str) -> str:
+    if clock not in CLOCKS:
+        raise InvalidValue(f"unknown clock {clock!r}; expected one of {CLOCKS}")
+    return f"{clock}_seconds"
+
+
+def folded_stacks(spans: Sequence[Dict[str, Any]],
+                  clock: str = "wall") -> Dict[str, int]:
+    """Collapse spans into ``{stack: self_microseconds}``.
+
+    The stack is the ``;``-joined chain of span names from the root
+    down; a span whose parent was dropped (bounded tracer) roots its
+    own stack.  Self time is the span's clock minus its direct
+    children's, clamped at zero, rounded to whole microseconds;
+    stacks that round to zero are omitted (folded counts are
+    conventionally positive integers).
+    """
+    field = _clock_field(clock)
+    spans = [s for s in spans
+             if not (s.get("args") or {}).get("instant")]
+    by_id = {s.get("id"): s for s in spans if s.get("id") is not None}
+    child_total: Dict[Any, float] = {}
+    for span in spans:
+        parent = span.get("parent_id")
+        if parent is not None:
+            child_total[parent] = (child_total.get(parent, 0.0)
+                                   + float(span.get(field, 0.0)))
+
+    def stack_of(span: Dict[str, Any]) -> str:
+        names: List[str] = []
+        seen = set()
+        node = span
+        while node is not None:
+            names.append(str(node.get("name", "")).replace(";", ","))
+            node_id = node.get("id")
+            if node_id in seen:   # defensive: a cyclic parent link
+                break
+            seen.add(node_id)
+            node = by_id.get(node.get("parent_id"))
+        return ";".join(reversed(names))
+
+    out: Dict[str, int] = {}
+    for span in spans:
+        own = float(span.get(field, 0.0)) - child_total.get(span.get("id"), 0.0)
+        micros = int(round(max(own, 0.0) * 1e6))
+        if micros <= 0:
+            continue
+        stack = stack_of(span)
+        out[stack] = out.get(stack, 0) + micros
+    return out
+
+
+def folded_lines(stacks: Dict[str, int]) -> List[str]:
+    """Folded-format lines (``stack count``), deterministically sorted."""
+    return [f"{stack} {count}" for stack, count in sorted(stacks.items())]
+
+
+def parse_folded(lines: Iterable[str]) -> Dict[str, int]:
+    """Read folded lines back into ``{stack: count}`` (the round trip)."""
+    out: Dict[str, int] = {}
+    for i, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        stack, _, count = line.rpartition(" ")
+        if not stack or not count.lstrip("-").isdigit():
+            raise InvalidValue(f"line {i}: not folded format: {line!r}")
+        out[stack] = out.get(stack, 0) + int(count)
+    return out
+
+
+def render_top(stacks: Dict[str, int], top: int = 20,
+               width: int = 40, clock: str = "wall") -> str:
+    """A terminal flame view: top stacks by self time, with bars.
+
+    Each line shows the share of total self time, the self time in
+    seconds, a proportional bar, and the full stack (deep frames
+    leftmost-trimmed to keep the leaf visible).
+    """
+    _clock_field(clock)   # validate
+    total = sum(stacks.values())
+    if not total:
+        return f"(no {clock} self time recorded)"
+    ranked = sorted(stacks.items(), key=lambda kv: (-kv[1], kv[0]))
+    shown = ranked[:top] if top else ranked
+    peak = shown[0][1]
+    lines = [f"top {len(shown)} of {len(ranked)} stacks by {clock} self "
+             f"time (total {total / 1e6:.4f}s)"]
+    for stack, micros in shown:
+        share = micros / total
+        bar = "█" * max(int(round(width * micros / peak)), 1)
+        label = stack if len(stack) <= 60 else "…" + stack[-59:]
+        lines.append(f"{share:>6.1%} {micros / 1e6:>10.4f}s "
+                     f"{bar:<{width}} {label}")
+    rest = total - sum(m for _, m in shown)
+    if rest > 0:
+        lines.append(f"{rest / total:>6.1%} {rest / 1e6:>10.4f}s "
+                     f"{'':<{width}} ({len(ranked) - len(shown)} more)")
+    return "\n".join(lines)

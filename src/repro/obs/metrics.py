@@ -21,12 +21,19 @@ lock, so concurrent solves can share one registry.
 
 from __future__ import annotations
 
+import re
 import threading
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.util.errors import InvalidValue
 
 LabelKey = Tuple[Tuple[str, str], ...]
+
+#: Prometheus metric-name grammar (exposition format 0.0.4).
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+#: Prometheus label-name grammar (no colons, unlike metric names).
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
 
 #: Default latency-style histogram buckets (seconds).
 DEFAULT_BUCKETS = (
@@ -51,7 +58,7 @@ class Metric:
     type_name = "untyped"
 
     def __init__(self, name: str, help: str = ""):
-        if not name or not name.replace("_", "a").isalnum():
+        if not NAME_RE.match(name or ""):
             raise InvalidValue(f"invalid metric name {name!r}")
         self.name = name
         self.help = help
@@ -307,12 +314,20 @@ class MetricsRegistry:
         return registry
 
     def to_prometheus(self) -> str:
-        """Prometheus text exposition (format version 0.0.4)."""
+        """Prometheus text exposition (format version 0.0.4).
+
+        Every metric family gets its ``# HELP`` and ``# TYPE`` comment
+        lines; help text and label values are escaped per the format
+        (backslash, newline — plus double quote inside label values),
+        so arbitrary recorded strings cannot corrupt the exposition.
+        """
         lines: List[str] = []
         snapshot = self.snapshot()
         for name, data in snapshot.items():
+            help_line = f"# HELP {name}"
             if data["help"]:
-                lines.append(f"# HELP {name} {data['help']}")
+                help_line += f" {_prom_escape_help(data['help'])}"
+            lines.append(help_line)
             prom_type = ("gauge" if data["type"] == "series"
                          else data["type"])
             lines.append(f"# TYPE {name} {prom_type}")
@@ -345,6 +360,10 @@ class MetricsRegistry:
 
 def _prom_line(name: str, labels: Mapping[str, str], value: Any) -> str:
     if labels:
+        for label in labels:
+            if not LABEL_NAME_RE.match(str(label)):
+                raise InvalidValue(f"invalid Prometheus label name "
+                                   f"{label!r} on metric {name!r}")
         body = ",".join(
             f'{k}="{_prom_escape(str(v))}"' for k, v in sorted(labels.items())
         )
@@ -353,5 +372,11 @@ def _prom_line(name: str, labels: Mapping[str, str], value: Any) -> str:
 
 
 def _prom_escape(value: str) -> str:
+    """Escape a label value: backslash, double quote, newline."""
     return (value.replace("\\", r"\\").replace('"', r'\"')
             .replace("\n", r"\n"))
+
+
+def _prom_escape_help(value: str) -> str:
+    """Escape HELP text: backslash and newline (quotes stay literal)."""
+    return value.replace("\\", r"\\").replace("\n", r"\n")

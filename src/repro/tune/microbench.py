@@ -22,6 +22,10 @@ otherwise answers with a datasheet constant:
 
 Budgets: :data:`FULL` for a real calibration, :data:`FAST` for the CI
 leg (the whole suite in well under a minute), :data:`SMOKE` for tests.
+
+Each probe runs inside a ``tune/probe/*`` observability span carrying
+its budget and measured result, so a traced calibration shows up in
+trace diffs and flamegraphs like any other subsystem.
 """
 
 from __future__ import annotations
@@ -36,6 +40,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 import scipy.sparse as sp
 
+from repro import obs
 from repro.grid import Grid3D, stencil_coo
 from repro.hpcg.coloring import lattice_coloring
 from repro.perf.calibrate import measure_triad_bandwidth
@@ -160,15 +165,21 @@ def measure_spmv_rates(
         matrices = probe_matrices(budget)
     rng = np.random.default_rng(3)
     out: Dict[str, Dict[str, float]] = {name: {} for name in names}
-    for shape, csr in matrices.items():
-        nbytes = useful_bytes(MatrixProfile.from_csr(csr))
-        x = rng.standard_normal(csr.shape[1])
-        for name in names:
-            provider = substrate_mod.get(name)(csr)
-            provider.mxv(x)   # warm-up (and structure build check)
-            elapsed = _best_of(lambda: provider.mxv(x),
-                               budget.spmv_repeats)
-            out[name][shape] = nbytes / elapsed if elapsed > 0 else 0.0
+    with obs.span("tune/probe/spmv", "tune",
+                  {"budget": budget.name,
+                   "repeats": budget.spmv_repeats}) as span:
+        for shape, csr in matrices.items():
+            nbytes = useful_bytes(MatrixProfile.from_csr(csr))
+            x = rng.standard_normal(csr.shape[1])
+            for name in names:
+                provider = substrate_mod.get(name)(csr)
+                provider.mxv(x)   # warm-up (and structure build check)
+                elapsed = _best_of(lambda: provider.mxv(x),
+                                   budget.spmv_repeats)
+                out[name][shape] = nbytes / elapsed if elapsed > 0 else 0.0
+        if span is not None:
+            span.set(rates={name: dict(shapes)
+                            for name, shapes in out.items()})
     return out
 
 
@@ -197,21 +208,26 @@ def measure_rbgs_rates(
     r = rng.standard_normal(A.shape[0])
     nbytes = useful_bytes(MatrixProfile.from_csr(A))
     out: Dict[str, float] = {}
-    for name in names:
-        blocks = [substrate_mod.get(name)(A[sel, :]) for sel in color_rows]
+    with obs.span("tune/probe/rbgs", "tune",
+                  {"budget": budget.name, "nx": budget.stencil_nx,
+                   "repeats": budget.rbgs_repeats}) as span:
+        for name in names:
+            blocks = [substrate_mod.get(name)(A[sel, :]) for sel in color_rows]
 
-        def half_sweep():
-            z = np.zeros(A.shape[0])
-            for c in range(ncolors):
-                sel = color_rows[c]
-                s = blocks[c].mxv(z)
-                d = diag[sel]
-                z[sel] = (r[sel] - s + z[sel] * d) / d
-            return z
+            def half_sweep():
+                z = np.zeros(A.shape[0])
+                for c in range(ncolors):
+                    sel = color_rows[c]
+                    s = blocks[c].mxv(z)
+                    d = diag[sel]
+                    z[sel] = (r[sel] - s + z[sel] * d) / d
+                return z
 
-        half_sweep()   # warm-up
-        elapsed = _best_of(half_sweep, budget.rbgs_repeats)
-        out[name] = nbytes / elapsed if elapsed > 0 else 0.0
+            half_sweep()   # warm-up
+            elapsed = _best_of(half_sweep, budget.rbgs_repeats)
+            out[name] = nbytes / elapsed if elapsed > 0 else 0.0
+        if span is not None:
+            span.set(rates=dict(out))
     return out
 
 
@@ -227,28 +243,35 @@ def fit_message_cost(budget: ProbeBudget) -> Tuple[float, float]:
     """
     sizes: List[float] = []
     times: List[float] = []
-    for nbytes in budget.message_sizes:
-        n = max(nbytes // 8, 1)
-        src = np.random.default_rng(1).standard_normal(n)
-        stage = np.empty(n)
-        dst = np.empty(n)
+    with obs.span("tune/probe/message_cost", "tune",
+                  {"budget": budget.name,
+                   "sizes": list(budget.message_sizes),
+                   "repeats": budget.message_repeats}) as span:
+        for nbytes in budget.message_sizes:
+            n = max(nbytes // 8, 1)
+            src = np.random.default_rng(1).standard_normal(n)
+            stage = np.empty(n)
+            dst = np.empty(n)
 
-        def exchange():
-            np.copyto(stage, src)   # pack / inject
-            np.copyto(dst, stage)   # deliver / unpack
+            def exchange():
+                np.copyto(stage, src)   # pack / inject
+                np.copyto(dst, stage)   # deliver / unpack
 
-        exchange()   # warm-up
-        elapsed = _best_of(exchange, budget.message_repeats)
-        sizes.append(float(n * 8))
-        times.append(elapsed)
-    slope, intercept = np.polyfit(np.asarray(sizes), np.asarray(times), 1)
-    if slope <= 0:
-        # timer-noise degenerate fit: fall back to the largest probe's
-        # raw throughput and a nominal microsecond of latency
-        g = sizes[-1] / times[-1] if times[-1] > 0 else 1e9
-        return g, 1e-6
-    g = 1.0 / slope
-    latency = max(float(intercept), 1e-9)
+            exchange()   # warm-up
+            elapsed = _best_of(exchange, budget.message_repeats)
+            sizes.append(float(n * 8))
+            times.append(elapsed)
+        slope, intercept = np.polyfit(np.asarray(sizes), np.asarray(times), 1)
+        if slope <= 0:
+            # timer-noise degenerate fit: fall back to the largest probe's
+            # raw throughput and a nominal microsecond of latency
+            g = sizes[-1] / times[-1] if times[-1] > 0 else 1e9
+            latency = 1e-6
+        else:
+            g = 1.0 / slope
+            latency = max(float(intercept), 1e-9)
+        if span is not None:
+            span.set(g=float(g), latency=float(latency))
     return float(g), latency
 
 
@@ -277,21 +300,27 @@ def measure_overlap_efficiency(budget: ProbeBudget) -> float:
         np.copyto(dst, src)
 
     best_eff = 0.0
-    for _ in range(max(budget.overlap_repeats, 1)):
-        t_comp = _best_of(compute, 1)
-        t_copy = _best_of(copy, 1)
-        thread = threading.Thread(target=copy)
-        start = time.perf_counter()
-        thread.start()
-        compute()
-        thread.join()
-        t_both = time.perf_counter() - start
-        shorter = min(t_comp, t_copy)
-        if shorter <= 0:
-            continue
-        hidden = (t_comp + t_copy) - t_both
-        best_eff = max(best_eff, hidden / shorter)
-    return float(np.clip(best_eff, 0.0, 1.0))
+    with obs.span("tune/probe/overlap", "tune",
+                  {"budget": budget.name, "size": budget.overlap_size,
+                   "repeats": budget.overlap_repeats}) as span:
+        for _ in range(max(budget.overlap_repeats, 1)):
+            t_comp = _best_of(compute, 1)
+            t_copy = _best_of(copy, 1)
+            thread = threading.Thread(target=copy)
+            start = time.perf_counter()
+            thread.start()
+            compute()
+            thread.join()
+            t_both = time.perf_counter() - start
+            shorter = min(t_comp, t_copy)
+            if shorter <= 0:
+                continue
+            hidden = (t_comp + t_copy) - t_both
+            best_eff = max(best_eff, hidden / shorter)
+        efficiency = float(np.clip(best_eff, 0.0, 1.0))
+        if span is not None:
+            span.set(overlap_efficiency=efficiency)
+    return efficiency
 
 
 # ---------------------------------------------------------------------------
@@ -301,8 +330,13 @@ def measure_overlap_efficiency(budget: ProbeBudget) -> float:
 def measure(budget: ProbeBudget = FULL,
             name: Optional[str] = None) -> MachineProfile:
     """Run every probe and assemble the :class:`MachineProfile`."""
-    triad = measure_triad_bandwidth(size=budget.triad_size,
-                                    repeats=budget.triad_repeats)
+    with obs.span("tune/probe/triad", "tune",
+                  {"budget": budget.name, "size": budget.triad_size,
+                   "repeats": budget.triad_repeats}) as span:
+        triad = measure_triad_bandwidth(size=budget.triad_size,
+                                        repeats=budget.triad_repeats)
+        if span is not None:
+            span.set(bandwidth=float(triad))
     spmv_rates = measure_spmv_rates(budget)
     rbgs_rates = measure_rbgs_rates(budget)
     g, latency = fit_message_cost(budget)
