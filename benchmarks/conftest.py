@@ -88,6 +88,9 @@ class BenchJsonCollector:
         payload = {
             "created_at": time.time(),
             "host": platform.node() or "unknown",
+            # core count gates the cross-host comparability of
+            # parallel-speedup floors in check_trend.py
+            "cores": os.cpu_count() or 1,
             "benches": self.benches,
             "metrics": self.metrics,
         }

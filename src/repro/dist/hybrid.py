@@ -66,12 +66,16 @@ class HybridALPRun(SimulatedDistRun):
                  machine: Optional[BSPMachine] = None, block: int = 1,
                  comm_mode: Optional[str] = None,
                  overlap_efficiency: Optional[float] = None,
-                 agglomerate_below: int = 0):
+                 agglomerate_below: int = 0,
+                 execute_local: bool = False,
+                 node_threads: Optional[int] = None):
         self._block = block
         super().__init__(problem, nprocs, mg_levels, machine,
                          comm_mode=comm_mode,
                          overlap_efficiency=overlap_efficiency,
-                         agglomerate_below=agglomerate_below)
+                         agglomerate_below=agglomerate_below,
+                         execute_local=execute_local,
+                         node_threads=node_threads)
 
     def _init_level_comm(self, level: SimLevel) -> None:
         p = self.nprocs

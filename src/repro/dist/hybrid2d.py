@@ -50,7 +50,9 @@ class Hybrid2DRun(SimulatedDistRun):
                  machine: Optional[BSPMachine] = None,
                  comm_mode: Optional[str] = None,
                  overlap_efficiency: Optional[float] = None,
-                 agglomerate_below: int = 0):
+                 agglomerate_below: int = 0,
+                 execute_local: bool = False,
+                 node_threads: Optional[int] = None):
         q = int(round(math.sqrt(nprocs)))
         if q * q != nprocs:
             raise InvalidValue(
@@ -61,7 +63,9 @@ class Hybrid2DRun(SimulatedDistRun):
         super().__init__(problem, nprocs, mg_levels, machine,
                          comm_mode=comm_mode,
                          overlap_efficiency=overlap_efficiency,
-                         agglomerate_below=agglomerate_below)
+                         agglomerate_below=agglomerate_below,
+                         execute_local=execute_local,
+                         node_threads=node_threads)
 
     def _rank(self, i: int, j: int) -> int:
         return i * self.q + j

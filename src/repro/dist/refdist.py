@@ -70,7 +70,9 @@ class RefDistRun(SimulatedDistRun):
                  partition: str = "grid3d",
                  comm_mode: Optional[str] = None,
                  overlap_efficiency: Optional[float] = None,
-                 agglomerate_below: int = 0):
+                 agglomerate_below: int = 0,
+                 execute_local: bool = False,
+                 node_threads: Optional[int] = None):
         if partition not in PARTITIONS:
             raise InvalidValue(
                 f"unknown partition {partition!r}, "
@@ -81,7 +83,9 @@ class RefDistRun(SimulatedDistRun):
         super().__init__(problem, nprocs, mg_levels, machine,
                          comm_mode=comm_mode,
                          overlap_efficiency=overlap_efficiency,
-                         agglomerate_below=agglomerate_below)
+                         agglomerate_below=agglomerate_below,
+                         execute_local=execute_local,
+                         node_threads=node_threads)
 
     def _init_level_comm(self, level: SimLevel) -> None:
         p = self.nprocs

@@ -47,11 +47,26 @@ of one gather superstep entering the level, one scatter leaving it, and
 the loss of ``p``-way parallelism on the agglomerated work.  The
 tradeoff is priced through the same engine, so ``bsp_time`` shows
 whether dodging the tiny-superstep latencies pays.
+
+Hybrid node-local execution
+---------------------------
+
+``execute_local=True`` makes the run *measure* its node-local speedup
+instead of only pricing it: before the solve, the finest level's
+per-node SpMV (the :class:`~repro.dist.halo.LocalSpmvExecutor` node
+blocks under a Block1D ownership) executes once serially and once with
+the nodes dispatched across a ``ThreadPoolExecutor`` of
+``node_threads`` workers (default: the ``REPRO_THREADS`` resolution) —
+bit-identical outputs, asserted.  The observed serial/threaded ratio
+becomes ``node_speedup``, which scales every superstep's *work* term
+(communication is unchanged — threads share the NIC), and is surfaced
+on the :class:`DistRunResult`.  Numerics are untouched either way.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import time
 from typing import List, Optional
 
 import numpy as np
@@ -112,7 +127,9 @@ class SimulatedDistRun:
                  machine: Optional[BSPMachine] = None,
                  comm_mode: Optional[str] = None,
                  overlap_efficiency: Optional[float] = None,
-                 agglomerate_below: int = 0):
+                 agglomerate_below: int = 0,
+                 execute_local: bool = False,
+                 node_threads: Optional[int] = None):
         if machine is None:
             # no machine pinned: the Table-II ARM preset, but with the
             # *measured* overlap efficiency when this machine has a
@@ -155,6 +172,14 @@ class SimulatedDistRun:
         self.overlap = self.comm_mode == "overlap"
         self.overlap_efficiency = machine.overlap_efficiency
         self.agglomerate_below = agglomerate_below
+        if node_threads is not None and node_threads < 1:
+            raise InvalidValue(
+                f"node_threads must be >= 1, got {node_threads}"
+            )
+        self.execute_local = execute_local
+        self.node_threads = node_threads   # resolved at calibration
+        self.node_speedup = 1.0
+        self.executed_local = False
         self.n = problem.n
         stencil = getattr(problem, "stencil", "27pt")
         self.levels: List[SimLevel] = []
@@ -250,6 +275,13 @@ class SimulatedDistRun:
 
     def _tick_superstep(self, key: str, work_bytes: float, h: int,
                         overlap_bytes: float = 0.0) -> None:
+        if self.node_speedup != 1.0:
+            # measured hybrid speedup scales the compute terms only:
+            # wire terms are unchanged (threads share the NIC), and a
+            # faster node also has *less* compute to hide a posted
+            # exchange behind, hence overlap_bytes shrinks with it
+            work_bytes /= self.node_speedup
+            overlap_bytes /= self.node_speedup
         costs = self.machine.superstep_costs(work_bytes, h, overlap_bytes)
         self._tick(key, costs["total"])
         # wire-time accounting lives in its own registry so the main
@@ -276,7 +308,93 @@ class SimulatedDistRun:
             self._m_comm.inc(costs["comm_hidden"], kind="hidden")
 
     def _tick_local(self, key: str, work_bytes: float) -> None:
-        self._tick(key, self.machine.work_time(work_bytes))
+        self._tick(key, self.machine.work_time(
+            work_bytes / self.node_speedup))
+
+    # --- hybrid node-local execution -----------------------------------------
+    #: timing repeats per calibration pass (best-of, noise rejection)
+    _CALIBRATE_REPEATS = 3
+    #: pricing floor: a measured slowdown never inflates work terms by
+    #: more than 20x (guards against degenerate timer readings)
+    _MIN_NODE_SPEEDUP = 0.05
+
+    def _calibrate_hybrid(self) -> None:
+        """Execute the finest level's per-node SpMV for real and
+        measure the node-local thread speedup.
+
+        The per-node blocks come from a
+        :class:`~repro.dist.halo.LocalSpmvExecutor` over the same
+        Block1D row ownership the 1-D backends partition with.  A
+        serial pass loops the nodes; a threaded pass dispatches them
+        across a ``ThreadPoolExecutor`` — each node writes a disjoint
+        ``y[node.rows]`` slice, so the two passes are bit-identical
+        (asserted).  The best-of-:attr:`_CALIBRATE_REPEATS` ratio
+        becomes :attr:`node_speedup`; it scales *pricing only* — the
+        solve's numerics never touch these vectors.
+        """
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.dist.halo import LocalSpmvExecutor
+        from repro.graphblas.substrate import threads as threads_mod
+
+        nthreads = self.node_threads
+        if nthreads is None:
+            nthreads = threads_mod.resolve()
+        # more workers than nodes cannot help: one task per node
+        nthreads = max(1, min(nthreads, self.nprocs))
+        level0 = self.levels[0]
+        owners = Block1D(level0.n, self.nprocs).owner(
+            np.arange(level0.n, dtype=np.int64))
+        executor = LocalSpmvExecutor(level0.A, owners, self.nprocs,
+                                     comm_mode="eager")
+        for node in executor.nodes:
+            node.provider          # build providers outside the timing
+        x = np.random.default_rng(13).standard_normal(level0.n)
+
+        def run_serial(y: np.ndarray) -> float:
+            start = time.perf_counter()
+            for node in executor.nodes:
+                y[node.rows] = node.provider.mxv(x[node.cols])
+            return time.perf_counter() - start
+
+        y_serial = np.empty(level0.n)
+        serial_s = min(run_serial(y_serial)
+                       for _ in range(self._CALIBRATE_REPEATS))
+        if nthreads > 1:
+            def node_task(node, y: np.ndarray) -> None:
+                y[node.rows] = node.provider.mxv(x[node.cols])
+
+            y_threaded = np.empty(level0.n)
+            with ThreadPoolExecutor(max_workers=nthreads) as pool:
+                def run_threaded() -> float:
+                    start = time.perf_counter()
+                    futures = [pool.submit(node_task, node, y_threaded)
+                               for node in executor.nodes]
+                    for future in futures:
+                        future.result()
+                    return time.perf_counter() - start
+
+                threaded_s = min(run_threaded()
+                                 for _ in range(self._CALIBRATE_REPEATS))
+            if not np.array_equal(y_serial, y_threaded):
+                raise AssertionError(
+                    "hybrid node-local execution diverged from the "
+                    "serial node loop — disjoint-slice dispatch broken"
+                )
+            speedup = serial_s / max(threaded_s, 1e-12)
+        else:
+            threaded_s = serial_s
+            speedup = 1.0
+        self.node_threads = nthreads
+        self.node_speedup = max(speedup, self._MIN_NODE_SPEEDUP)
+        self.executed_local = True
+        with obs.span("dist/hybrid_calibrate", "dist") as sp:
+            if sp is not None:
+                sp.set(node_threads=nthreads,
+                       node_speedup=self.node_speedup,
+                       serial_seconds=serial_s,
+                       threaded_seconds=threaded_s,
+                       nprocs=self.nprocs, n=level0.n)
 
     def _vector_share(self, n: int) -> float:
         """Largest per-node share of an ``n``-vector (for local-op work)."""
@@ -441,10 +559,14 @@ class SimulatedDistRun:
         b = self.problem.b.to_dense()
         x = self.problem.x0.to_dense()
 
+        if self.execute_local and not self.executed_local:
+            self._calibrate_hybrid()
+
         run_span = obs.span("dist/run_cg", "dist", {
             "backend": self.backend, "nprocs": self.nprocs, "n": n,
             "mode": self.comm_mode, "machine": self.machine.name,
             "mg_levels": self.mg_levels,
+            "node_speedup": self.node_speedup,
         })
         with run_span as rsp:
             Ap = self._spmv(level0, x, "spmv", "cg/spmv")
@@ -522,6 +644,9 @@ class SimulatedDistRun:
             machine=self.machine.name,
             manifest=manifest,
             metrics=run_metrics,
+            executed_local=self.executed_local,
+            node_threads=self.node_threads or 0,
+            node_speedup=self.node_speedup,
         )
 
     def _obs_attachments(self, iterations: int):
@@ -537,6 +662,9 @@ class SimulatedDistRun:
             "comm_mode": self.comm_mode,
             "overlap_efficiency": self.overlap_efficiency,
             "agglomerate_below": self.agglomerate_below,
+            "execute_local": self.execute_local,
+            "node_threads": self.node_threads or 0,
+            "node_speedup": self.node_speedup,
         })
         manifest = obs.current().build_manifest()
         run_metrics = {
@@ -549,5 +677,6 @@ class SimulatedDistRun:
             "hidden_comm_seconds": (
                 self._comm_seconds - self._exposed_comm_seconds),
             "iterations": iterations,
+            "node_speedup": self.node_speedup,
         }
         return manifest, run_metrics

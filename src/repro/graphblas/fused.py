@@ -26,6 +26,11 @@ API, and why the smoothers reach it only through the plan objects:
   transcription, bit for bit.
 * :class:`JacobiSweepPlan` — the same fusion for the damped-Jacobi
   update (a full product, no mask).
+* :func:`fused_spmv_waxpby` — CG's hot pair ``w = alpha*x + beta*(A z)``
+  (the residual updates in ``pcg`` init and the V-cycle) in one pass,
+  eliding the intermediate product vector's 16-byte-per-row round trip;
+  through the jit lane it is a single compiled kernel, serial or
+  ``prange``-parallel per the ``REPRO_THREADS`` policy.
 """
 
 from __future__ import annotations
@@ -102,6 +107,64 @@ def fused_masked_mxv_lambda(
             "fused_mxv_lambda", rows.size, sub.nnz, flops, nbytes,
             fmt=sub.name,
         )
+
+
+def fused_spmv_waxpby(w: Vector, alpha: float, x: Vector, beta: float,
+                      A: Matrix, z: Vector) -> bool:
+    """``w = alpha*x + beta*(A z)`` without materialising ``A z``.
+
+    The fusion for CG's hot SpMV→waxpby pair.  Returns ``False`` when
+    the call cannot be served bit-identically (kill switch, sparse or
+    non-float64 operands, empty operator rows whose output presence the
+    unfused pair would drop, or ``w`` aliasing the product input) and
+    the caller falls back to the ``mxv`` + ``waxpby`` transcription.
+
+    Bit-exactness: the product accumulates each row's partial products
+    in ascending column order from ``+0.0`` — every provider's
+    contract, so one CSR-order kernel serves all substrates — and
+    ``fl(a)+fl(b)`` is commutative in IEEE-754 (signed zeros included),
+    so ``alpha*x[i] + beta*acc`` matches both of ``waxpby``'s dense
+    site orders.  The jit kernel writes one output element per row
+    (``prange``-safe); the numpy fallback still elides the intermediate
+    container, keeping the arithmetic of the unfused pair.
+    """
+    if not fused_enabled():      # the kill switch works per call
+        return False
+    if w is z:
+        return False             # the product must read pre-update z
+    if (A.dtype != np.float64 or w.dtype != np.float64
+            or x.dtype != np.float64 or z.dtype != np.float64):
+        return False
+    if not (w.is_dense() and x.is_dense() and z.is_dense()):
+        return False
+    if w.size != A.nrows or z.size != A.ncols or x.size != w.size:
+        return False
+    prov = A.provider()
+    if not bool((prov.row_nnz > 0).all()):
+        return False
+    from repro.graphblas.substrate import jit, threads
+
+    wv, xv, zv = w._values, x._values, z._values
+    flops, mxv_bytes = prov.mxv_traffic()
+    if jit.available():
+        jit.csr_mxv_waxpby(A._csr, zv, alpha, xv, beta, wv,
+                           nthreads=threads.effective(mxv_bytes))
+    else:
+        s = prov.mxv(zv)
+        np.multiply(xv, alpha, out=wv)
+        wv += beta * s
+    w._present.fill(True)
+    w._bump()
+    if backend.active():
+        n = w.size
+        # the unfused pair costs mxv traffic (tmp write+read included in
+        # the provider's rows*16 term) plus waxpby's n*24; fusion elides
+        # the intermediate's 16B/row round trip
+        backend.record(
+            "fused_spmv_waxpby", A.nrows, prov.nnz,
+            flops + 3 * n, mxv_bytes + n * 8, fmt=prov.name,
+        )
+    return True
 
 
 class ColorSweepPlan:

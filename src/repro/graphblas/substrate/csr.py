@@ -23,7 +23,7 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.graphblas.substrate import jit
+from repro.graphblas.substrate import jit, threads
 from repro.graphblas.substrate.base import ColorSweep, KernelProvider
 
 try:  # scipy's compiled SpMV entry point: zero-copy, no wrapper layers.
@@ -47,7 +47,9 @@ class CsrProvider(KernelProvider):
         csr = self._csr
         if (jit.available() and csr.dtype == np.float64
                 and x.dtype == np.float64):
-            return jit.csr_mxv(csr, x)
+            return jit.csr_mxv(csr, x,
+                               nthreads=threads.effective(
+                                   self.mxv_traffic()[1]))
         return csr @ x
 
     def gs_color_sweep(self, color_rows: Sequence[np.ndarray],
@@ -88,7 +90,9 @@ class CsrColorSweep(ColorSweep):
         d = self.diags[k]
         work = self._work[k]
         if jit.available():
-            jit.csr_gs_step(block, rows, d, z, r, work)
+            jit.csr_gs_step(block, rows, d, z, r, work,
+                            nthreads=threads.effective(
+                                self.subs[k].mxv_traffic()[1]))
             return
         if _csr_matvec is not None:
             work.fill(0.0)  # csr_matvec accumulates onto its output

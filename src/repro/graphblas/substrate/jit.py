@@ -1,4 +1,4 @@
-"""The optional numba-compiled kernel lane.
+"""The optional numba-compiled kernel lane — serial and parallel.
 
 The ROADMAP's substrate headroom — *"a numba/cython compiled lane
 kernel for SELL-C-σ"* — realised as a soft dependency: when numba is
@@ -8,7 +8,7 @@ call falls back to the pure-numpy implementations, bit for bit.  Numba
 is never required — this module imports cleanly without it, and
 :func:`available` is the single gate every caller checks.
 
-Three kernels, matching the fast paths the fused smoother sweep needs:
+The serial kernels match the fast paths the fused smoother sweep needs:
 
 * :func:`csr_mxv` — the CSR product, accumulating each row's partial
   products left-to-right in ascending column order from ``+0.0`` —
@@ -21,12 +21,30 @@ Three kernels, matching the fast paths the fused smoother sweep needs:
   for *arbitrary* colour masks, proper colourings or not;
 * :func:`sell_mxv` — the SELL-C-σ lane product over the provider's
   packed lane-major gather lists, one compiled pass instead of one
-  vectorised numpy pass per lane.
+  vectorised numpy pass per lane;
+* :func:`blocked_mxv` — the blocked-dense provider's mini-GEMVs,
+  walking each block's column lanes in ascending order with the
+  presence mask (the numpy masked-add, compiled);
+* :func:`csr_mxv_waxpby` — CG's hot pair ``w = alpha*v + beta*(A z)``
+  in one pass, eliding the intermediate vector's round trip.
 
-Compilation is lazy (first call) and per-dtype via numba's dispatcher;
-callers gate on float64 data before entering, matching the dtypes the
-kernels are exercised with.  ``REPRO_JIT`` is read per call so tests
-can flip the lane on and off without reimporting.
+Every kernel also has a ``numba.prange`` **parallel** variant, entered
+by passing ``nthreads > 1`` to the wrapper.  Parallelism is always
+over *rows* (for SELL, over permuted rows walking the row's CSR
+entries; for blocked, over row blocks): each output element is written
+by exactly one thread and each row's left-to-right accumulation is
+unchanged, so the parallel lane is bit-identical to the serial lane at
+any thread count.  The fused GS step parallelises each of its two
+phases independently — the phase barrier preserves the
+pre-update-``z`` semantics.  Thread counts come from
+:mod:`repro.graphblas.substrate.threads` (the ``REPRO_THREADS``
+resolution policy); this module only executes what it is told.
+
+Compilation is lazy (first call; the parallel family compiles
+separately so serial-only runs never pay for it) and per-dtype via
+numba's dispatcher; callers gate on float64 data before entering.
+``REPRO_JIT`` is read per call so tests can flip the lane on and off
+without reimporting.
 """
 
 from __future__ import annotations
@@ -45,6 +63,7 @@ except ImportError:  # the supported, tested-everywhere configuration
     _numba = None
 
 _kernels = None
+_kernels_par = None
 
 
 def enabled() -> bool:
@@ -60,8 +79,15 @@ def available() -> bool:
     return _numba is not None and enabled()
 
 
+def parallel_available() -> bool:
+    """True when the ``prange`` variants can run.  The same gate as
+    :func:`available` — the ``REPRO_THREADS`` policy decides *whether*
+    to use them (wrappers with ``nthreads <= 1`` stay serial)."""
+    return available()
+
+
 def _load():
-    """Compile (once) and return the kernel namespace."""
+    """Compile (once) and return the serial kernel namespace."""
     global _kernels
     if _kernels is None:  # pragma: no cover - requires numba
         njit = _numba.njit
@@ -100,27 +126,157 @@ def _load():
                 e = lane_entries[k]
                 acc[lane_rows[k]] += data[e] * x[indices[e]]
 
+        @njit(fastmath=False)
+        def _blocked_mxv(colmap, data, present, widths, x, out):
+            # ascending column lanes with the presence mask — the numpy
+            # masked-add order, so padding cells never touch the sum
+            nblocks, R, _ = data.shape
+            nrows = out.shape[0]
+            for b in range(nblocks):
+                w = widths[b]
+                for rl in range(R):
+                    row = b * R + rl
+                    if row >= nrows:
+                        continue
+                    acc = 0.0
+                    for lane in range(w):
+                        if present[b, rl, lane]:
+                            acc += data[b, rl, lane] * x[colmap[b, lane]]
+                    out[row] = acc
+
+        @njit(fastmath=False)
+        def _csr_mxv_waxpby(indptr, indices, data, z, alpha, v, beta, out):
+            # w = alpha*v + beta*(A z): the row product accumulates
+            # exactly as _csr_mxv, then the axpby lands in one store
+            for i in range(out.shape[0]):
+                acc = 0.0
+                for jj in range(indptr[i], indptr[i + 1]):
+                    acc += data[jj] * z[indices[jj]]
+                out[i] = alpha * v[i] + beta * acc
+
         class _Kernels:
             csr_mxv = staticmethod(_csr_mxv)
             csr_gs_step = staticmethod(_csr_gs_step)
             sell_mxv = staticmethod(_sell_mxv)
+            blocked_mxv = staticmethod(_blocked_mxv)
+            csr_mxv_waxpby = staticmethod(_csr_mxv_waxpby)
 
         _kernels = _Kernels
     return _kernels
 
 
-def csr_mxv(csr, x: np.ndarray) -> np.ndarray:  # pragma: no cover - numba
+def _load_parallel():
+    """Compile (once) and return the prange kernel namespace."""
+    global _kernels_par
+    if _kernels_par is None:  # pragma: no cover - requires numba
+        njit = _numba.njit
+        prange = _numba.prange
+
+        @njit(fastmath=False, parallel=True)
+        def _csr_mxv_par(indptr, indices, data, x, out):
+            # rows are independent: one thread per row range, identical
+            # per-row accumulation
+            for i in prange(out.shape[0]):
+                acc = 0.0
+                for jj in range(indptr[i], indptr[i + 1]):
+                    acc += data[jj] * x[indices[jj]]
+                out[i] = acc
+
+        @njit(fastmath=False, parallel=True)
+        def _csr_gs_step_par(indptr, indices, data, rows, diag, z, r,
+                             work):
+            nloc = rows.shape[0]
+            # each phase parallelises over its own disjoint writes; the
+            # barrier between them preserves the pre-update-z reads
+            for i in prange(nloc):
+                acc = 0.0
+                for jj in range(indptr[i], indptr[i + 1]):
+                    acc += data[jj] * z[indices[jj]]
+                work[i] = acc
+            for i in prange(nloc):
+                row = rows[i]
+                d = diag[i]
+                z[row] = (r[row] - work[i] + z[row] * d) / d
+
+        @njit(fastmath=False, parallel=True)
+        def _sell_mxv_par(perm, indptr, indices, data, x, out):
+            # parallel over permuted rows, each walking its CSR entries
+            # in ascending order — the exact per-row arithmetic of the
+            # serial lane-major pass, reassociated across rows only
+            for k in prange(perm.shape[0]):
+                row = perm[k]
+                acc = 0.0
+                for jj in range(indptr[row], indptr[row + 1]):
+                    acc += data[jj] * x[indices[jj]]
+                out[row] = acc
+
+        @njit(fastmath=False, parallel=True)
+        def _blocked_mxv_par(colmap, data, present, widths, x, out):
+            # row blocks are disjoint: one thread per block range
+            nblocks, R, _ = data.shape
+            nrows = out.shape[0]
+            for b in prange(nblocks):
+                w = widths[b]
+                for rl in range(R):
+                    row = b * R + rl
+                    if row >= nrows:
+                        continue
+                    acc = 0.0
+                    for lane in range(w):
+                        if present[b, rl, lane]:
+                            acc += data[b, rl, lane] * x[colmap[b, lane]]
+                    out[row] = acc
+
+        @njit(fastmath=False, parallel=True)
+        def _csr_mxv_waxpby_par(indptr, indices, data, z, alpha, v, beta,
+                                out):
+            for i in prange(out.shape[0]):
+                acc = 0.0
+                for jj in range(indptr[i], indptr[i + 1]):
+                    acc += data[jj] * z[indices[jj]]
+                out[i] = alpha * v[i] + beta * acc
+
+        class _ParKernels:
+            csr_mxv = staticmethod(_csr_mxv_par)
+            csr_gs_step = staticmethod(_csr_gs_step_par)
+            sell_mxv = staticmethod(_sell_mxv_par)
+            blocked_mxv = staticmethod(_blocked_mxv_par)
+            csr_mxv_waxpby = staticmethod(_csr_mxv_waxpby_par)
+
+        _kernels_par = _ParKernels
+    return _kernels_par
+
+
+def _set_threads(nthreads: int) -> None:  # pragma: no cover - numba
+    """Pin numba's team size for the next parallel kernel call,
+    clamped to the layer's launch-time maximum."""
+    limit = getattr(_numba.config, "NUMBA_NUM_THREADS", nthreads)
+    _numba.set_num_threads(max(1, min(nthreads, limit)))
+
+
+def csr_mxv(csr, x: np.ndarray,
+            nthreads: int = 1) -> np.ndarray:  # pragma: no cover - numba
     """``csr @ x`` through the compiled lane (caller gates dtypes)."""
     out = np.empty(csr.shape[0], dtype=np.float64)
-    _load().csr_mxv(csr.indptr, csr.indices, csr.data, x, out)
+    if nthreads > 1:
+        _set_threads(nthreads)
+        _load_parallel().csr_mxv(csr.indptr, csr.indices, csr.data, x, out)
+    else:
+        _load().csr_mxv(csr.indptr, csr.indices, csr.data, x, out)
     return out
 
 
 def csr_gs_step(csr, rows: np.ndarray, diag: np.ndarray, z: np.ndarray,
-                r: np.ndarray, work: np.ndarray) -> None:  # pragma: no cover
+                r: np.ndarray, work: np.ndarray,
+                nthreads: int = 1) -> None:  # pragma: no cover
     """One fused colour step over the row block ``csr`` (= A[rows, :])."""
-    _load().csr_gs_step(csr.indptr, csr.indices, csr.data, rows, diag,
-                        z, r, work)
+    if nthreads > 1:
+        _set_threads(nthreads)
+        _load_parallel().csr_gs_step(csr.indptr, csr.indices, csr.data,
+                                     rows, diag, z, r, work)
+    else:
+        _load().csr_gs_step(csr.indptr, csr.indices, csr.data, rows, diag,
+                            z, r, work)
 
 
 def sell_mxv(lane_rows: np.ndarray, lane_entries: np.ndarray,
@@ -132,3 +288,45 @@ def sell_mxv(lane_rows: np.ndarray, lane_entries: np.ndarray,
     y = np.empty(nrows, dtype=np.float64)
     y[perm] = acc
     return y
+
+
+def sell_mxv_par(csr, perm: np.ndarray, x: np.ndarray,
+                 nthreads: int) -> np.ndarray:  # pragma: no cover - numba
+    """The SELL-C-σ product, parallel over permuted rows.
+
+    Each permuted row accumulates its CSR entries in ascending column
+    order — the identical per-row arithmetic of the lane-major pass —
+    and writes its own output element, so any thread count matches the
+    serial lane bit for bit.
+    """
+    out = np.empty(csr.shape[0], dtype=np.float64)
+    _set_threads(nthreads)
+    _load_parallel().sell_mxv(perm, csr.indptr, csr.indices, csr.data,
+                              x, out)
+    return out
+
+
+def blocked_mxv(colmap: np.ndarray, data: np.ndarray, present: np.ndarray,
+                widths: np.ndarray, x: np.ndarray, nrows: int,
+                nthreads: int = 1) -> np.ndarray:  # pragma: no cover
+    """The blocked-dense mini-GEMVs through the compiled lane."""
+    out = np.empty(nrows, dtype=np.float64)
+    if nthreads > 1:
+        _set_threads(nthreads)
+        _load_parallel().blocked_mxv(colmap, data, present, widths, x, out)
+    else:
+        _load().blocked_mxv(colmap, data, present, widths, x, out)
+    return out
+
+
+def csr_mxv_waxpby(csr, z: np.ndarray, alpha: float, v: np.ndarray,
+                   beta: float, out: np.ndarray,
+                   nthreads: int = 1) -> None:  # pragma: no cover - numba
+    """``out = alpha*v + beta*(csr @ z)`` in one compiled pass."""
+    if nthreads > 1:
+        _set_threads(nthreads)
+        _load_parallel().csr_mxv_waxpby(csr.indptr, csr.indices, csr.data,
+                                        z, alpha, v, beta, out)
+    else:
+        _load().csr_mxv_waxpby(csr.indptr, csr.indices, csr.data,
+                               z, alpha, v, beta, out)

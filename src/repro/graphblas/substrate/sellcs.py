@@ -28,7 +28,7 @@ from typing import List, Tuple
 import numpy as np
 import scipy.sparse as sp
 
-from repro.graphblas.substrate import jit
+from repro.graphblas.substrate import jit, threads
 from repro.graphblas.substrate.base import KernelProvider
 
 
@@ -101,6 +101,12 @@ class SellCSigmaProvider(KernelProvider):
             return csr @ x
         if (jit.available() and csr.dtype == np.float64
                 and x.dtype == np.float64):
+            nthreads = threads.effective(self.mxv_traffic()[1])
+            if nthreads > 1 and jit.parallel_available():
+                # parallel over permuted rows, each accumulating its
+                # CSR entries ascending — per-row arithmetic identical
+                # to the lane-major pass, so bits match at any count
+                return jit.sell_mxv_par(csr, self._perm, x, nthreads)
             # the compiled lane: one pass over the packed lane-major
             # lists — the identical accumulation order, no per-lane
             # numpy dispatch

@@ -17,6 +17,7 @@ from typing import Callable, List, Optional
 
 from repro import graphblas as grb
 from repro import obs
+from repro.graphblas import fused as fused_ext
 from repro.util.errors import DimensionMismatch
 from repro.util.timer import null_timer
 
@@ -101,9 +102,15 @@ def pcg(
     ) if registry is not None else None)
 
     with timers.measure("cg/spmv"), grb.backend.labelled("spmv"):
-        grb.mxv(Ap, None, A, x)
-    with timers.measure("cg/waxpby"), grb.backend.labelled("waxpby"):
-        grb.waxpby(r, 1.0, b, -1.0, Ap)             # r <- b - A x
+        # the fused extension computes r <- b - A x in one pass (Ap is
+        # recomputed from p before its first read, so eliding it here
+        # is state-free); declining falls back to the reference pair
+        fused_init = fused_ext.fused_spmv_waxpby(r, 1.0, b, -1.0, A, x)
+        if not fused_init:
+            grb.mxv(Ap, None, A, x)
+    if not fused_init:
+        with timers.measure("cg/waxpby"), grb.backend.labelled("waxpby"):
+            grb.waxpby(r, 1.0, b, -1.0, Ap)         # r <- b - A x
     with timers.measure("cg/dot"), grb.backend.labelled("dot"):
         normr0 = normr = grb.norm2(r)
     residuals = [normr]

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -294,7 +295,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="diff this run's trace against a baseline "
                              "trace.json and print the span-level deltas "
                              "(implies tracing on)")
+    parser.add_argument("--threads", metavar="N|auto|0", default=None,
+                        help="thread count for the parallel kernel lane "
+                             "(sets REPRO_THREADS for this run: a count, "
+                             "'auto' for the profile-fitted width, '0' to "
+                             "kill the lane)")
     args = parser.parse_args(argv)
+    if args.threads is not None:
+        from repro.graphblas.substrate import threads as threads_mod
+        os.environ[threads_mod.ENV_VAR] = args.threads
+        threads_mod.requested()   # fail fast on an unparsable value
     want_artifacts = bool(
         args.trace_json or args.metrics_json or args.manifest_json
         or args.compare_trace

@@ -24,6 +24,7 @@ from typing import Callable, List, Optional
 
 from repro import graphblas as grb
 from repro import obs
+from repro.graphblas import fused as fused_ext
 from repro.grid import Grid3D
 from repro.hpcg.coloring import color_masks, coloring_for_problem, lattice_coloring
 from repro.hpcg.problem import Problem, build_operator
@@ -153,8 +154,11 @@ def mg_vcycle(
         with timers.measure(f"{tag}/spmv"), \
                 grb.backend.labelled(f"mg_spmv@L{level.index}"), \
                 obs.span(f"{tag}/spmv", "mg"):
-            grb.mxv(level.f, None, level.A, z)          # f <- A z
-            grb.waxpby(level.f, 1.0, r, -1.0, level.f)  # f <- r - f
+            # f <- r - A z, fused when the extension accepts the call
+            if not fused_ext.fused_spmv_waxpby(level.f, 1.0, r, -1.0,
+                                               level.A, z):
+                grb.mxv(level.f, None, level.A, z)          # f <- A z
+                grb.waxpby(level.f, 1.0, r, -1.0, level.f)  # f <- r - f
         with timers.measure(f"{tag}/restrict"), \
                 grb.backend.labelled(f"restrict@L{level.index}"), \
                 obs.span(f"{tag}/restrict", "mg"):

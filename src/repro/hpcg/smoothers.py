@@ -48,6 +48,7 @@ import numpy as np
 from repro import graphblas as grb
 from repro import obs
 from repro.graphblas import fused as fused_mod
+from repro.graphblas.substrate import threads as threads_mod
 from repro.util.errors import DimensionMismatch, InvalidValue
 
 
@@ -129,7 +130,8 @@ class RBGSSmoother:
             if self._plan is not None and self._plan.run(z, r, order):
                 if sp is not None:
                     sp.set(fused=True, colors=len(self.colors),
-                           level=self.level, n=self.n)
+                           level=self.level, n=self.n,
+                           lane=threads_mod.lane_name())
                 return
             for k in order:
                 mask = self.colors[k]
@@ -140,7 +142,8 @@ class RBGSSmoother:
                 )
             if sp is not None:
                 sp.set(fused=False, colors=len(self.colors),
-                       level=self.level, n=self.n)
+                       level=self.level, n=self.n,
+                       lane=threads_mod.lane_name())
 
     def forward(self, z: grb.Vector, r: grb.Vector) -> grb.Vector:
         """One forward multi-colour Gauss-Seidel sweep (Listing 2)."""
@@ -211,7 +214,8 @@ class JacobiSmoother:
         with obs.span("smoother/jacobi_sweep", "smoother") as sp:
             if sp is not None:
                 sp.set(sweeps=sweeps, level=self.level, n=self.n,
-                       fused=self._plan is not None)
+                       fused=self._plan is not None,
+                       lane=threads_mod.lane_name())
             if self._plan is not None and self._plan.run(z, r, sweeps):
                 return z
             if sp is not None:

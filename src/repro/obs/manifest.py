@@ -1,8 +1,9 @@
 """Run provenance: the manifest that makes a run reproducible.
 
 One solver run's configuration is scattered across environment toggles
-(``REPRO_SUBSTRATE``, ``REPRO_FUSED``, ``REPRO_JIT``, ``REPRO_OVERLAP``,
-``REPRO_TRACE``, the tune-cache location), the cached machine profile,
+(``REPRO_SUBSTRATE``, ``REPRO_FUSED``, ``REPRO_JIT``, ``REPRO_THREADS``,
+``REPRO_OVERLAP``, ``REPRO_TRACE``, the tune-cache location), the
+cached machine profile,
 per-matrix substrate-selection decisions, and driver arguments.  The
 manifest captures all of it in one JSON document — the *why* next to
 the *what* — so any result file can answer "how was this run
@@ -107,6 +108,7 @@ def capture_toggles() -> Dict[str, Any]:
     from repro.graphblas import fused as fused_mod
     from repro.graphblas.substrate import jit as jit_mod
     from repro.graphblas.substrate import registry as registry_mod
+    from repro.graphblas.substrate import threads as threads_mod
     from repro.obs.context import trace_env_enabled
 
     try:
@@ -117,13 +119,23 @@ def capture_toggles() -> Dict[str, Any]:
         substrate_force = registry_mod.forced()
     except InvalidValue:
         substrate_force = "invalid"
+    try:
+        threads_requested: Any = threads_mod.requested()
+        threads_effective: Any = threads_mod.resolve()
+    except InvalidValue:
+        threads_requested = threads_effective = "invalid"
     return {
         "fused": fused_mod.fused_enabled(),
         "jit_enabled": jit_mod.enabled(),
         "jit_available": jit_mod.available(),
+        "jit_parallel_available": jit_mod.parallel_available(),
         "comm_mode": comm_mode,
         "substrate_force": substrate_force,
         "trace": trace_env_enabled(),
+        # the REPRO_THREADS resolution pair: what was asked (None =
+        # auto) and what the parallel lane resolved it to
+        "threads_requested": threads_requested,
+        "threads_effective": threads_effective,
     }
 
 
@@ -144,6 +156,8 @@ def capture_tune_profile() -> Optional[Dict[str, Any]]:
         "latency": profile.latency,
         "overlap_efficiency": profile.overlap_efficiency,
         "fast": profile.fast,
+        "half_sat_threads": profile.half_sat_threads,
+        "thread_speedup": profile.thread_speedup(),
     }
 
 

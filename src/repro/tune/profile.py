@@ -26,7 +26,9 @@ from typing import Dict, Optional
 from repro.util.errors import InvalidValue
 
 #: Bump on any incompatible change to the on-disk layout.
-SCHEMA_VERSION = 1
+#: v2 added the thread-scaling fields (``half_sat_threads``,
+#: ``thread_rates``) that size the ``REPRO_THREADS=auto`` lane.
+SCHEMA_VERSION = 2
 
 #: The matrix-shape grid the SpMV probes cover (and the classes the
 #: model-driven selection maps a :class:`MatrixProfile` onto).
@@ -60,6 +62,12 @@ class MachineProfile:
     latency: float                  # fitted BSP L, seconds
     overlap_efficiency: float       # measured compute-under-copy hiding
     fast: bool = False              # produced under the --fast CI budget
+    #: smallest thread count reaching half the saturated parallel SpMV
+    #: rate — what ``REPRO_THREADS=auto`` resolves to (1 = stay serial)
+    half_sat_threads: int = 1
+    #: {kernel: {thread count (str, JSON-keyable): effective bytes/s}}
+    #: from the thread-sweep probe; "1" is the serial baseline
+    thread_rates: Dict[str, Dict[str, float]] = field(default_factory=dict)
     schema_version: int = field(default=SCHEMA_VERSION)
 
     def __post_init__(self):
@@ -76,6 +84,10 @@ class MachineProfile:
             raise InvalidValue(
                 f"overlap efficiency must lie in [0, 1], "
                 f"got {self.overlap_efficiency}"
+            )
+        if self.half_sat_threads < 1:
+            raise InvalidValue(
+                f"half_sat_threads must be >= 1, got {self.half_sat_threads}"
             )
 
     # --- rate lookups -------------------------------------------------------
@@ -102,6 +114,20 @@ class MachineProfile:
 
     def rbgs_rate(self, fmt: str) -> float:
         return self.rbgs_rates.get(fmt, self.triad_bandwidth)
+
+    def thread_rate(self, kernel: str, nthreads: int) -> Optional[float]:
+        """Measured effective bytes/s of ``kernel`` at ``nthreads``
+        (``None`` when that point was not probed)."""
+        return self.thread_rates.get(kernel, {}).get(str(nthreads))
+
+    def thread_speedup(self, kernel: str = "spmv") -> float:
+        """Measured parallel speedup at the fitted ``half_sat_threads``
+        over the serial baseline (1.0 when unprobed or serial-only)."""
+        serial = self.thread_rate(kernel, 1)
+        fitted = self.thread_rate(kernel, self.half_sat_threads)
+        if not serial or not fitted:
+            return 1.0
+        return fitted / serial
 
     # --- serialisation ------------------------------------------------------
     def to_dict(self) -> Dict:
@@ -180,6 +206,18 @@ class MachineProfile:
                 for fmt, rate in sorted(self.rbgs_rates.items())
             )
             lines.append(f"  RBGS effective rates (GB/s): {cells}")
+        lines.append(
+            f"  half-saturation threads: {self.half_sat_threads} "
+            f"(REPRO_THREADS=auto target, "
+            f"x{self.thread_speedup():.2f} vs serial)"
+        )
+        for kernel in sorted(self.thread_rates):
+            per = self.thread_rates[kernel]
+            cells = ", ".join(
+                f"{t}t={per[t] / 1e9:.2f}"
+                for t in sorted(per, key=int)
+            )
+            lines.append(f"  thread scaling {kernel} (GB/s): {cells}")
         return "\n".join(lines)
 
 
@@ -192,6 +230,8 @@ def synthetic_profile(
     spmv_rates: Optional[Dict[str, Dict[str, float]]] = None,
     rbgs_rates: Optional[Dict[str, float]] = None,
     fast: bool = True,
+    half_sat_threads: int = 1,
+    thread_rates: Optional[Dict[str, Dict[str, float]]] = None,
 ) -> MachineProfile:
     """A hand-built profile for tests and documentation examples.
 
@@ -221,4 +261,6 @@ def synthetic_profile(
         latency=latency,
         overlap_efficiency=overlap_efficiency,
         fast=fast,
+        half_sat_threads=half_sat_threads,
+        thread_rates=thread_rates if thread_rates is not None else {},
     )
