@@ -36,7 +36,10 @@ runs the :mod:`repro.obs.analyze` trace differ over the two
 the failure output — "which span regressed, and was it execution or
 the cost model" — so the human reading a red build starts from the
 attribution, not from two raw JSON files.  ``--triage-json PATH``
-saves the machine-readable diff for the CI artifact upload.
+saves the machine-readable diff for the CI artifact upload, plus a
+folded flamegraph pair (``PATH.old.folded`` / ``PATH.new.folded``)
+ready for ``obs flame``/``flamegraph.pl`` or a differential
+flamegraph.
 
 Exit status: 0 when every enforced check passes, 1 otherwise.
 The gate itself is stdlib-only on purpose — CI calls it before the
@@ -180,6 +183,21 @@ def triage(old_trace: str, new_trace: str,
             lines.append(f"machine-readable triage -> {json_out}")
         except OSError as exc:
             lines.append(f"(could not write {json_out}: {exc})")
+        # a folded flamegraph pair next to the report: feed either file
+        # to `obs flame --folded`, flamegraph.pl, or a differential
+        # flamegraph tool to *see* where the regression sits
+        base = json_out[:-len(".json")] if json_out.endswith(".json") \
+            else json_out
+        try:
+            from repro.obs import flame
+            for tag, trace_path in (("old", old_trace), ("new", new_trace)):
+                folded_path = f"{base}.{tag}.folded"
+                stacks = flame.folded_stacks(analyze.load_spans(trace_path))
+                with open(folded_path, "w", encoding="utf-8") as fh:
+                    fh.write("\n".join(flame.folded_lines(stacks)) + "\n")
+                lines.append(f"folded stacks ({tag}) -> {folded_path}")
+        except Exception as exc:
+            lines.append(f"(could not write folded stacks: {exc})")
     return lines
 
 

@@ -542,7 +542,7 @@ class SimulatedDistRun:
         self._exposed_comm_seconds = 0.0
         registry = obs.metrics_registry()
         self._m_supersteps = self._m_h = self._m_comm = None
-        res_series = None
+        res_series = iter_gauge = res_gauge = None
         if registry is not None:
             self._m_supersteps = registry.counter(
                 "dist_supersteps_total", "BSP supersteps closed")
@@ -554,6 +554,12 @@ class SimulatedDistRun:
             res_series = registry.series(
                 "dist_cg_residual",
                 "simulated CG residual 2-norm per iteration")
+            iter_gauge = registry.gauge(
+                "dist_cg_iteration",
+                "current simulated-CG iteration (live progress)")
+            res_gauge = registry.gauge(
+                "dist_cg_residual_last",
+                "most recent simulated-CG residual 2-norm")
         level0 = self.levels[0]
         n = self.n
         b = self.problem.b.to_dense()
@@ -621,6 +627,8 @@ class SimulatedDistRun:
                     residuals.append(normr)
                     if res_series is not None:
                         res_series.observe(normr, backend=self.backend)
+                        iter_gauge.set(k)
+                        res_gauge.set(normr)
                     iterations = k
             if rsp is not None:
                 rsp.set(iterations=iterations)

@@ -100,6 +100,9 @@ def pcg(
     res_gauge = (registry.gauge(
         "cg_residual_last", "most recent CG residual 2-norm"
     ) if registry is not None else None)
+    iter_gauge = (registry.gauge(
+        "cg_iteration", "current CG iteration (live progress)"
+    ) if registry is not None else None)
 
     with timers.measure("cg/spmv"), grb.backend.labelled("spmv"):
         # the fused extension computes r <- b - A x in one pass (Ap is
@@ -165,6 +168,7 @@ def pcg(
         if res_series is not None:
             res_series.observe(normr)
             res_gauge.set(normr)
+            iter_gauge.set(k)
         iterations = k
 
     converged = tolerance > 0 and normr / normr0 <= tolerance

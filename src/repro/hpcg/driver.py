@@ -295,6 +295,27 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="diff this run's trace against a baseline "
                              "trace.json and print the span-level deltas "
                              "(implies tracing on)")
+    parser.add_argument("--serve-metrics", metavar="PORT", type=int,
+                        default=None,
+                        help="serve live telemetry over HTTP while the "
+                             "run executes: /metrics (Prometheus text), "
+                             "/healthz, /manifest, /progress; PORT 0 "
+                             "picks a free port (implies tracing on)")
+    parser.add_argument("--trace-stream", metavar="PATH", default=None,
+                        help="stream finished spans to PATH as JSONL "
+                             "while the run executes; the partial file "
+                             "survives a killed run and obs validate/"
+                             "flame/diff accept it (implies tracing on)")
+    parser.add_argument("--sample-profile", metavar="HZ", nargs="?",
+                        type=float, const=100.0, default=None,
+                        help="run the sampling wall-clock profiler at HZ "
+                             "(default 100) during the run; prints a "
+                             "summary and, with --folded-out, writes "
+                             "folded stacks (implies tracing on)")
+    parser.add_argument("--folded-out", metavar="PATH", default=None,
+                        help="write the sampling profiler's folded "
+                             "stacks to PATH (for obs flame/top or "
+                             "flamegraph.pl; needs --sample-profile)")
     parser.add_argument("--threads", metavar="N|auto|0", default=None,
                         help="thread count for the parallel kernel lane "
                              "(sets REPRO_THREADS for this run: a count, "
@@ -307,13 +328,42 @@ def main(argv: Optional[List[str]] = None) -> int:
         threads_mod.requested()   # fail fast on an unparsable value
     want_artifacts = bool(
         args.trace_json or args.metrics_json or args.manifest_json
-        or args.compare_trace
+        or args.compare_trace or args.serve_metrics is not None
+        or args.trace_stream or args.sample_profile is not None
     )
+    sampler = None
     with contextlib.ExitStack() as scope:
         if want_artifacts:
             # an explicit context so the artifacts cover exactly this
-            # run, even when REPRO_TRACE also armed the env context
-            scope.enter_context(obs.run(name="hpcg-driver"))
+            # run, even when REPRO_TRACE also armed the env context —
+            # with the artifact paths doubling as crash-flush targets,
+            # so a failing solve still leaves whatever was recorded
+            scope.enter_context(obs.run(
+                name="hpcg-driver",
+                flush_trace=args.trace_json,
+                flush_metrics=args.metrics_json,
+                flush_manifest=args.manifest_json,
+            ))
+        live_ctx = obs.current()
+        if live_ctx is not None:
+            if args.trace_stream:
+                sink = obs.StreamingSink(args.trace_stream,
+                                         run_id=live_ctx.run_id,
+                                         tracer=live_ctx.tracer)
+                scope.callback(sink.close)
+                print(f"streaming trace -> {args.trace_stream}")
+            if args.serve_metrics is not None:
+                server = obs.LiveServer(obs.live.context_source(live_ctx),
+                                        port=args.serve_metrics)
+                server.start()
+                scope.callback(server.stop)
+                print(f"live telemetry at {server.url} "
+                      f"(/metrics /healthz /manifest /progress)")
+            if args.sample_profile is not None:
+                sampler = obs.SamplingProfiler(hz=args.sample_profile,
+                                               tracer=live_ctx.tracer,
+                                               registry=live_ctx.metrics)
+                scope.enter_context(sampler)
         result = run_hpcg(
             args.nx, args.ny, args.nz,
             max_iters=args.iters,
@@ -345,6 +395,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.manifest_json:
             print(f"  manifest-> "
                   f"{obs.export.write_manifest(args.manifest_json, obs_ctx.build_manifest())}")
+    if sampler is not None:
+        print(f"sampling profiler: {sampler.summary()}")
+        if args.folded_out:
+            folded = sampler.folded_stacks()
+            with open(args.folded_out, "w", encoding="utf-8") as fh:
+                fh.write("\n".join(obs.flame.folded_lines(folded)) + "\n")
+            print(f"  folded  -> {args.folded_out}")
     trace_diff = None
     if args.compare_trace and obs_ctx is not None:
         trace_diff = obs.analyze.diff_traces(

@@ -145,6 +145,11 @@ def mg_vcycle(
     """
     tag = f"mg/L{level.index}"
     with obs.span(tag, "mg", {"level": level.index, "n": level.n}):
+        registry = obs.metrics_registry()
+        if registry is not None:
+            registry.counter(
+                "mg_level_visits_total", "V-cycle visits per MG level"
+            ).inc(level=level.index)
         with timers.measure(f"{tag}/rbgs"), \
                 grb.backend.labelled(f"rbgs@L{level.index}"):
             level.smoother.smooth(z, r, sweeps=pre_sweeps)

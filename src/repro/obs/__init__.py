@@ -36,6 +36,15 @@ decisions), the tune micro-benchmark probes, MatrixMarket I/O and the
 dist partitioners.  Spans observe — they never change the numerics,
 and residual histories are byte-identical traced or untraced.
 
+The **live side** (:mod:`repro.obs.live`, :mod:`repro.obs.stream`,
+:mod:`repro.obs.profiler`) observes runs *while they execute*: a
+zero-dependency HTTP endpoint serving ``/metrics`` (Prometheus text),
+``/healthz``, ``/manifest`` and ``/progress``; push transports
+(pushgateway-style HTTP and an atomic textfile collector); a streaming
+JSONL trace sink whose partial output survives a killed run; and a
+sampling wall-clock profiler that attributes stacks to the innermost
+active span and emits ``obs flame``-compatible folded output.
+
 The **consumer side** (``python -m repro.obs diff|flame|top|
 diff-manifest``) turns those artifacts into answers:
 :mod:`repro.obs.analyze` diffs two traces per span name / MG level /
@@ -45,10 +54,31 @@ format (either clock), and :mod:`repro.obs.manifest_diff` explains
 "why is this run different" from two manifests.
 """
 
-from repro.obs import analyze, export, flame, manifest, manifest_diff, metrics, trace
+from repro.obs import (
+    analyze,
+    export,
+    flame,
+    live,
+    manifest,
+    manifest_diff,
+    metrics,
+    profiler,
+    stream,
+    trace,
+)
 from repro.obs.analyze import SpanStats, TraceDiff, diff_traces
 from repro.obs.flame import folded_stacks, parse_folded
+from repro.obs.live import (
+    LiveServer,
+    MetricsPusher,
+    TextfileCollector,
+    context_source,
+    file_source,
+    progress_snapshot,
+)
 from repro.obs.manifest_diff import diff_manifests
+from repro.obs.profiler import SamplingProfiler
+from repro.obs.stream import StreamingSink, load_stream_spans, read_stream
 from repro.obs.context import (
     ENV_TRACE,
     RunContext,
@@ -82,18 +112,24 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "LiveServer",
     "ManifestRecorder",
+    "MetricsPusher",
     "MetricsRegistry",
     "RunContext",
+    "SamplingProfiler",
     "Series",
     "SpanHandle",
     "SpanRecord",
     "SpanStats",
+    "StreamingSink",
+    "TextfileCollector",
     "TraceDiff",
     "Tracer",
     "activate",
     "analyze",
     "build_manifest",
+    "context_source",
     "current",
     "deactivate",
     "diff_manifests",
@@ -102,18 +138,25 @@ __all__ = [
     "enabled",
     "event",
     "export",
+    "file_source",
     "flame",
     "folded_stacks",
+    "live",
+    "load_stream_spans",
     "manifest",
     "manifest_diff",
     "manifest_recorder",
     "metrics",
     "metrics_registry",
     "parse_folded",
+    "profiler",
+    "progress_snapshot",
+    "read_stream",
     "record_selection",
     "reset",
     "run",
     "span",
+    "stream",
     "trace",
     "trace_env_enabled",
     "validate_manifest",

@@ -5,8 +5,22 @@ Subcommands:
 ``validate [PATH...] [--trace T] [--metrics M] [--manifest MF]``
     Validate artifacts against their schemas (the CI gate).  Positional
     paths may be files (kind sniffed from content) or directories
-    (every ``*.json`` inside, non-recursive); every file is reported
-    pass/fail individually and the exit status is 1 if *any* failed.
+    (every ``*.json`` and ``*.jsonl`` inside, non-recursive); every
+    file is reported pass/fail individually and the exit status is 1
+    if *any* failed.  JSONL trace *streams* are first-class: a stream
+    without its clean end marker (killed run) and a trace truncated by
+    ``max_spans`` validate with a printed **warning**, not a failure.
+
+``serve [--port N] [--host H] [--metrics M.json] [--manifest MF.json]``
+    Serve finished artifacts over the live-telemetry endpoints
+    (``/metrics`` Prometheus text, ``/healthz``, ``/manifest``,
+    ``/progress``), re-reading the files per request.  The in-process
+    variant for *running* solves is the driver's
+    ``--serve-metrics PORT``.
+
+``push (--url URL [--job J] | --textfile OUT.prom) --metrics M.json``
+    One-shot push of a metrics artifact: pushgateway-style HTTP PUT
+    with bounded retry/backoff, or an atomic textfile-collector drop.
 
 ``diff OLD NEW [--by name|level|category] [--top N] [--json PATH]``
     Per-key wall/modelled self-time deltas between two traces, ranked
@@ -42,13 +56,13 @@ from repro.util.errors import InvalidValue
 
 
 def _expand_paths(paths: List[str]) -> List[str]:
-    """Files stay files; directories contribute their ``*.json``."""
+    """Files stay files; directories contribute ``*.json`` + ``*.jsonl``."""
     out: List[str] = []
     for path in paths:
         if os.path.isdir(path):
             entries = sorted(
                 os.path.join(path, name) for name in os.listdir(path)
-                if name.endswith(".json")
+                if name.endswith(".json") or name.endswith(".jsonl")
             )
             out.extend(entries)
         else:
@@ -70,12 +84,14 @@ def _cmd_validate(args) -> int:
     failures = 0
     for path, kind in checks:
         try:
-            kind = export.validate_file(path, kind)
+            kind, warnings = export.validate_file_report(path, kind)
         except (InvalidValue, OSError, ValueError) as exc:
             print(f"INVALID {kind} {path}: {exc}", file=sys.stderr)
             failures += 1
             continue
         print(f"ok: {kind} {path}")
+        for warning in warnings:
+            print(f"  warning: {warning}")
     if failures:
         print(f"{failures} of {len(checks)} file(s) invalid",
               file=sys.stderr)
@@ -145,6 +161,53 @@ def _cmd_diff_manifest(args) -> int:
         export.write_json(args.json, diff)
         print(f"machine-readable diff -> {args.json}")
     return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.obs import live
+
+    source = live.file_source(metrics=args.metrics, manifest=args.manifest)
+    server = live.LiveServer(source, host=args.host, port=args.port)
+    with server:
+        print(f"serving telemetry on {server.url} "
+              f"(/metrics /healthz /manifest /progress; Ctrl-C stops)")
+        if args.once:        # test/CI hook: bind, report, exit cleanly
+            return 0
+        import time
+        try:
+            while True:
+                time.sleep(3600)
+        except KeyboardInterrupt:
+            print("stopped")
+    return 0
+
+
+def _cmd_push(args) -> int:
+    from repro.obs import live
+    from repro.obs.metrics import MetricsRegistry
+
+    if not args.url and not args.textfile:
+        print("push needs --url or --textfile", file=sys.stderr)
+        return 2
+    with open(args.metrics, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    registry = MetricsRegistry.from_snapshot(
+        payload.get("metrics", payload))
+    text = registry.to_prometheus()
+    if args.textfile:
+        collector = live.TextfileCollector(args.textfile, lambda: text)
+        print(f"exposition -> {collector.write()} "
+              f"({len(text.splitlines())} lines)")
+        return 0
+    pusher = live.MetricsPusher(args.url, job=args.job,
+                                retries=args.retries,
+                                backoff=args.backoff)
+    if pusher.push(text):
+        print(f"pushed {len(text.splitlines())} lines -> {pusher.target}")
+        return 0
+    print(f"push failed after {args.retries + 1} attempt(s): "
+          f"{pusher.last_error}", file=sys.stderr)
+    return 1
 
 
 def _add_clock(parser) -> None:
@@ -219,6 +282,42 @@ def main(argv: Optional[List[str]] = None) -> int:
     dm.add_argument("--json", metavar="PATH",
                     help="also write the machine-readable diff")
     dm.set_defaults(fn=_cmd_diff_manifest)
+
+    srv = sub.add_parser("serve",
+                         help="serve artifacts over the live-telemetry "
+                              "endpoints (/metrics etc.)")
+    srv.add_argument("--host", default="127.0.0.1",
+                     help="bind host (default 127.0.0.1)")
+    srv.add_argument("--port", type=int, default=0,
+                     help="bind port (default 0 = ephemeral, printed)")
+    srv.add_argument("--metrics", metavar="PATH",
+                     help="metrics snapshot JSON behind /metrics and "
+                          "/progress (re-read per request)")
+    srv.add_argument("--manifest", metavar="PATH",
+                     help="run manifest JSON behind /manifest")
+    srv.add_argument("--once", action="store_true",
+                     help="bind, print the URL, exit (smoke-test hook)")
+    srv.set_defaults(fn=_cmd_serve)
+
+    push = sub.add_parser("push",
+                          help="push a metrics artifact: pushgateway "
+                               "HTTP or textfile collector")
+    push.add_argument("--metrics", metavar="PATH", required=True,
+                      help="metrics snapshot JSON to push")
+    push.add_argument("--url", metavar="URL",
+                      help="pushgateway base URL (PUT "
+                           "<url>/metrics/job/<job>)")
+    push.add_argument("--job", default="repro",
+                      help="pushgateway job label (default repro)")
+    push.add_argument("--retries", type=int, default=3,
+                      help="bounded retry count (default 3)")
+    push.add_argument("--backoff", type=float, default=0.2,
+                      help="initial backoff seconds, doubled per retry "
+                           "(default 0.2)")
+    push.add_argument("--textfile", metavar="PATH",
+                      help="write an atomic textfile-collector .prom "
+                           "file instead of pushing over HTTP")
+    push.set_defaults(fn=_cmd_push)
 
     args = parser.parse_args(argv)
     try:

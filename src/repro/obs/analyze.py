@@ -59,14 +59,27 @@ def load_spans(source: Any) -> List[Dict[str, Any]]:
 
     Accepts the artifacts :mod:`repro.obs.export` writes (Chrome
     ``trace_event`` JSON with the plain span list under
-    ``otherData.spans``), a bare ``{"spans": [...]}`` wrapper, or an
-    already-loaded span list.  A Chrome trace written by other tooling
-    (no ``otherData.spans``) is reconstructed from its "X" events —
+    ``otherData.spans``), a JSONL trace *stream* from
+    :mod:`repro.obs.stream` (partial traces of killed runs included),
+    a bare ``{"spans": [...]}`` wrapper, or an already-loaded span
+    list.  A Chrome trace written by other tooling (no
+    ``otherData.spans``) is reconstructed from its "X" events —
     parent links and modelled seconds ride in each event's ``args``.
     """
     if isinstance(source, str):
         with open(source, "r", encoding="utf-8") as fh:
-            source = json.load(fh)
+            text = fh.read()
+        try:
+            source = json.loads(text)
+        except json.JSONDecodeError:
+            # not one JSON document: try the JSONL trace-stream format
+            from repro.obs import stream as stream_mod
+            source = stream_mod.parse_stream_text(text)[1]
+    if isinstance(source, dict) and source.get("kind"):
+        # a header-only stream file parses as a single JSON object
+        from repro.obs import stream as stream_mod
+        if source.get("kind") == stream_mod.STREAM_KIND:
+            source = []
     if isinstance(source, list):
         spans = source
     elif isinstance(source, dict):

@@ -54,9 +54,72 @@ class RunContext:
                        else Tracer(max_spans=max_spans))
         self.metrics = MetricsRegistry()
         self.manifest = ManifestRecorder(run_id=self.run_id)
+        # artifact paths flushed on crash (and reusable on clean exit):
+        # see set_flush_paths() / flush()
+        self.flush_trace: Optional[str] = None
+        self.flush_metrics: Optional[str] = None
+        self.flush_manifest: Optional[str] = None
 
     def build_manifest(self, **extra_config: Any) -> Dict[str, Any]:
         return self.manifest.build(**extra_config)
+
+    def sync_self_metrics(self) -> None:
+        """Refresh the observability layer's metrics about itself.
+
+        The tracer's dropped-span counter (and sink-error count, when
+        any) become gauges, so every exposition — ``/metrics`` scrape,
+        ``--metrics-json`` artifact, push — states whether the trace it
+        accompanies was truncated by ``max_spans``.
+        """
+        self.metrics.gauge(
+            "obs_tracer_dropped_spans",
+            "spans dropped by the bounded in-memory tracer",
+        ).set(self.tracer.dropped)
+        if self.tracer.sink_errors:
+            self.metrics.gauge(
+                "obs_tracer_sink_errors",
+                "stream-sink write failures (spans lost to the stream)",
+            ).set(self.tracer.sink_errors)
+
+    def set_flush_paths(self, trace: Optional[str] = None,
+                        metrics: Optional[str] = None,
+                        manifest: Optional[str] = None) -> "RunContext":
+        """Where :meth:`flush` writes each artifact (None = skip it)."""
+        self.flush_trace = trace
+        self.flush_metrics = metrics
+        self.flush_manifest = manifest
+        return self
+
+    def flush(self, reason: Optional[str] = None) -> List[str]:
+        """Write every configured artifact with whatever is recorded.
+
+        Best-effort by design: this is the crash path — each artifact
+        is attempted independently and a failing write never masks the
+        exception that triggered the flush.  Returns the paths written.
+        ``reason`` (e.g. ``"exception"``) is recorded in the manifest's
+        config so a post-mortem knows the artifacts are partial.
+        """
+        from repro.obs import export
+
+        written: List[str] = []
+        self.sync_self_metrics()
+        for path, write in (
+            (self.flush_trace,
+             lambda p: export.write_trace(p, self)),
+            (self.flush_metrics,
+             lambda p: export.write_metrics(p, self)),
+            (self.flush_manifest,
+             lambda p: export.write_manifest(
+                 p, self.build_manifest(
+                     **({"flush_reason": reason} if reason else {})))),
+        ):
+            if not path:
+                continue
+            try:
+                written.append(write(path))
+            except Exception:
+                continue
+        return written
 
 
 # Explicit activations; a ``None`` entry means "forced off".  The env
@@ -104,12 +167,28 @@ def reset() -> None:
 
 @contextmanager
 def run(name: str = "run", run_id: Optional[str] = None,
-        max_spans: Optional[int] = None) -> Iterator[RunContext]:
-    """Activate a fresh context for the dynamic extent."""
+        max_spans: Optional[int] = None,
+        flush_trace: Optional[str] = None,
+        flush_metrics: Optional[str] = None,
+        flush_manifest: Optional[str] = None) -> Iterator[RunContext]:
+    """Activate a fresh context for the dynamic extent.
+
+    With any ``flush_*`` path configured, an exception escaping the
+    body triggers a best-effort :meth:`RunContext.flush` *before* the
+    exception propagates — a crashing solve still leaves validating
+    trace/metrics/manifest artifacts holding everything recorded up to
+    the failure (every span already closed by the unwinding ``with``
+    blocks is in them).
+    """
     ctx = RunContext(name=name, run_id=run_id, max_spans=max_spans)
+    ctx.set_flush_paths(trace=flush_trace, metrics=flush_metrics,
+                        manifest=flush_manifest)
     activate(ctx)
     try:
         yield ctx
+    except BaseException:
+        ctx.flush(reason="exception")
+        raise
     finally:
         deactivate(ctx)
 

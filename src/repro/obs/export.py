@@ -16,8 +16,9 @@ them from the command line — the CI leg's schema gate.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
+from repro.obs import stream as stream_mod
 from repro.obs.context import RunContext
 from repro.obs.manifest import validate_manifest  # re-exported
 from repro.obs.metrics import MetricsRegistry
@@ -90,6 +91,7 @@ def metrics_payload(registry: MetricsRegistry,
 
 
 def write_metrics(path: str, ctx: RunContext) -> str:
+    ctx.sync_self_metrics()
     return write_json(path, metrics_payload(ctx.metrics, run_id=ctx.run_id))
 
 
@@ -132,10 +134,13 @@ def sniff_kind(payload: Dict[str, Any]) -> str:
     Used by ``python -m repro.obs validate`` when paths are given
     without ``--trace/--metrics/--manifest`` tags: traces carry
     ``traceEvents``, metrics carry a ``metrics`` object with a schema
-    version, manifests carry the required provenance keys.
+    version, manifests carry the required provenance keys, and a
+    trace-stream *header* line carries its ``kind`` discriminator.
     """
     if not isinstance(payload, dict):
         raise InvalidValue("artifact must be a JSON object")
+    if payload.get("kind") == stream_mod.STREAM_KIND:
+        return "trace-stream"
     if "traceEvents" in payload:
         return "trace"
     if "metrics" in payload and "schema_version" in payload:
@@ -144,27 +149,60 @@ def sniff_kind(payload: Dict[str, Any]) -> str:
         return "manifest"
     raise InvalidValue(
         "unrecognised artifact: expected a trace (traceEvents), "
-        "metrics snapshot (schema_version + metrics), or manifest "
-        "(toggles + substrate_decisions)"
+        "metrics snapshot (schema_version + metrics), manifest "
+        "(toggles + substrate_decisions), or trace stream (kind header)"
     )
 
 
 def validate_file(path: str, kind: str = "auto") -> str:
     """Validate a written artifact; returns the (possibly sniffed) kind.
 
-    ``kind`` is ``trace``/``metrics``/``manifest``, or ``auto`` to
-    sniff it from the document's shape.
+    ``kind`` is ``trace``/``metrics``/``manifest``/``trace-stream``,
+    or ``auto`` to sniff it from the document's shape.
+    """
+    return validate_file_report(path, kind)[0]
+
+
+def validate_file_report(path: str,
+                         kind: str = "auto") -> Tuple[str, List[str]]:
+    """:func:`validate_file` plus non-fatal warnings.
+
+    Warnings never fail validation — they flag *legitimate but
+    degraded* artifacts: a trace truncated by the bounded tracer
+    (``max_spans``), or a streamed trace without its clean end marker
+    (killed or still-running run).  ``obs validate`` prints them.
     """
     with open(path, "r", encoding="utf-8") as fh:
-        payload = json.load(fh)
+        text = fh.read()
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError:
+        # not one JSON document: the only multi-line artifact we write
+        # is the JSONL trace stream
+        if kind not in ("auto", "trace-stream"):
+            raise InvalidValue(
+                f"{path} is not a JSON document (expected kind {kind!r})"
+            )
+        return "trace-stream", stream_mod.validate_stream_text(text)
+    warnings: List[str] = []
     if kind == "auto":
         kind = sniff_kind(payload)
     if kind == "trace":
         validate_chrome_trace(payload)
+        dropped = (payload.get("otherData") or {}).get("dropped_spans", 0)
+        if dropped:
+            warnings.append(
+                f"trace truncated by max_spans: {dropped} span(s) "
+                f"dropped (not a failure; bound the run or raise "
+                f"max_spans to keep them)"
+            )
     elif kind == "metrics":
         validate_metrics_snapshot(payload)
     elif kind == "manifest":
         validate_manifest(payload)
+    elif kind == "trace-stream":
+        # a one-line stream (header only) parses as a single JSON doc
+        warnings.extend(stream_mod.validate_stream_text(text))
     else:
         raise InvalidValue(f"unknown artifact kind {kind!r}")
-    return kind
+    return kind, warnings

@@ -1,0 +1,204 @@
+"""Sampling wall-clock profiler: where the interpreter actually is.
+
+Spans answer "which phase is slow"; this module answers "which *code*
+inside the phase".  A background thread wakes at a configurable rate,
+snapshots every thread's Python frame via ``sys._current_frames()``,
+and attributes each sample to the innermost **active span** of the
+sampled thread (read from the tracer's lock-free active-stack table),
+so a sample lands as::
+
+    hpcg/solve;cg/iteration;mg/L0;matrix.py:mxv;csr.py:mxv
+
+— the span chain first, the Python frames below it.  The output is the
+same folded-stack dict the existing renderers consume:
+:meth:`SamplingProfiler.folded_stacks` scales sample counts to
+microseconds (one sample ≈ one period), so ``obs flame`` / ``obs top``
+/ ``flamegraph.pl`` render a sampled profile exactly like a span trace.
+
+The profiler is observational and GIL-bounded: sampling at the default
+rate costs one ``sys._current_frames()`` call and a few dict updates
+per period.  Self-observability rides along — tick and sample counts,
+plus **overruns** (ticks the sampler missed because a sample took
+longer than the period) so a too-ambitious rate is visible in the
+metrics instead of silently lying about coverage.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.trace import Tracer
+from repro.util.errors import InvalidValue
+
+#: Default sampling rate (samples per second).
+DEFAULT_HZ = 100.0
+
+#: Python frames kept per sample (innermost retained when deeper).
+MAX_FRAME_DEPTH = 30
+
+
+def frame_label(frame) -> str:
+    """``file.py:function`` for one frame, folded-format safe."""
+    code = frame.f_code
+    label = f"{os.path.basename(code.co_filename)}:{code.co_name}"
+    return label.replace(";", ",").replace(" ", "_")
+
+
+def _frame_chain(frame, max_depth: int) -> List[str]:
+    """Frame labels root-first, keeping the innermost when too deep."""
+    labels: List[str] = []
+    while frame is not None:
+        labels.append(frame_label(frame))
+        frame = frame.f_back
+    labels.reverse()
+    if len(labels) > max_depth:
+        labels = labels[-max_depth:]
+    return labels
+
+
+class SamplingProfiler:
+    """Background sampler producing folded stacks.
+
+    Parameters
+    ----------
+    hz:
+        Sampling rate.  100 Hz resolves anything above ~10 ms of self
+        time over a seconds-long run at negligible cost.
+    tracer:
+        When given, samples are prefixed with the sampled thread's open
+        span chain, and *only* threads with an open span are sampled
+        (the solver, not the HTTP server parked in ``poll``).  Without
+        a tracer every thread is sampled, span-less.
+    registry:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`; when
+        given the profiler keeps ``obs_profiler_samples_total`` /
+        ``obs_profiler_ticks_total`` / ``obs_profiler_overruns_total``
+        counters live for the ``/metrics`` endpoint.
+    all_threads:
+        Sample span-less threads even when a tracer is attached.
+    """
+
+    def __init__(self, hz: float = DEFAULT_HZ,
+                 tracer: Optional[Tracer] = None,
+                 registry: Optional[Any] = None,
+                 max_depth: int = MAX_FRAME_DEPTH,
+                 all_threads: bool = False):
+        if not hz > 0:
+            raise InvalidValue(f"sampling rate must be > 0 Hz, got {hz}")
+        self.hz = float(hz)
+        self.period = 1.0 / self.hz
+        self.tracer = tracer
+        self.max_depth = max_depth
+        self.all_threads = all_threads
+        self.ticks = 0
+        self.overruns = 0
+        self.sample_count = 0
+        self._samples: Dict[str, int] = {}
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._m_samples = self._m_ticks = self._m_overruns = None
+        if registry is not None:
+            self._m_samples = registry.counter(
+                "obs_profiler_samples_total",
+                "stack samples collected by the wall-clock profiler")
+            self._m_ticks = registry.counter(
+                "obs_profiler_ticks_total",
+                "profiler wakeups (one per sampling period)")
+            self._m_overruns = registry.counter(
+                "obs_profiler_overruns_total",
+                "sampling periods missed because a tick overran")
+
+    # --- lifecycle -----------------------------------------------------------
+    def start(self) -> "SamplingProfiler":
+        if self._thread is not None:
+            raise InvalidValue("profiler already started")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-obs-profiler", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> "SamplingProfiler":
+        if self._thread is None:
+            return self
+        self._stop.set()
+        self._thread.join(timeout=max(self.period * 20, 2.0))
+        self._thread = None
+        return self
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False
+
+    # --- the sampling loop ---------------------------------------------------
+    def _loop(self) -> None:
+        next_tick = time.perf_counter() + self.period
+        while not self._stop.wait(
+                max(next_tick - time.perf_counter(), 0.0)):
+            self._sample_once()
+            self.ticks += 1
+            if self._m_ticks is not None:
+                self._m_ticks.inc()
+            next_tick += self.period
+            now = time.perf_counter()
+            if now > next_tick:       # fell behind: count + skip ahead
+                missed = int((now - next_tick) / self.period) + 1
+                self.overruns += missed
+                if self._m_overruns is not None:
+                    self._m_overruns.inc(missed)
+                next_tick += missed * self.period
+
+    def _sample_once(self) -> None:
+        own = threading.get_ident()
+        frames = sys._current_frames()
+        collected = 0
+        with self._lock:
+            for tid, frame in frames.items():
+                if tid == own:
+                    continue
+                if self.tracer is not None:
+                    span_stack: Tuple[str, ...] = self.tracer.active_stack(tid)
+                    if not span_stack and not self.all_threads:
+                        continue
+                else:
+                    span_stack = ()
+                parts = [name.replace(";", ",") for name in span_stack]
+                parts.extend(_frame_chain(frame, self.max_depth))
+                stack = ";".join(parts) or "(unknown)"
+                self._samples[stack] = self._samples.get(stack, 0) + 1
+                collected += 1
+        del frames
+        self.sample_count += collected
+        if collected and self._m_samples is not None:
+            self._m_samples.inc(collected)
+
+    # --- output --------------------------------------------------------------
+    def raw_samples(self) -> Dict[str, int]:
+        """``{stack: sample_count}`` — the unscaled tally."""
+        with self._lock:
+            return dict(self._samples)
+
+    def folded_stacks(self) -> Dict[str, int]:
+        """``{stack: microseconds}`` — one sample ≈ one period.
+
+        Directly consumable by :func:`repro.obs.flame.folded_lines`,
+        :func:`repro.obs.flame.render_top` and ``flamegraph.pl``, and
+        commensurable with span-trace folded output (both count
+        integer microseconds of self time).
+        """
+        period_us = max(int(round(self.period * 1e6)), 1)
+        with self._lock:
+            return {stack: count * period_us
+                    for stack, count in self._samples.items()}
+
+    def summary(self) -> str:
+        return (f"{self.sample_count} samples over {self.ticks} ticks "
+                f"@ {self.hz:g} Hz ({self.overruns} overruns)")

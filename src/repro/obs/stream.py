@@ -1,0 +1,244 @@
+"""Streaming trace sink: spans persisted as JSONL *while the run runs*.
+
+The PR-6 trace artifact is written once, after a clean exit — a run
+that is killed, OOMs, or hangs leaves nothing.  This module closes that
+gap: a :class:`StreamingSink` registers with a
+:class:`~repro.obs.trace.Tracer` and appends every *finished* span to a
+JSON-Lines file as it closes, flushing to the OS whenever a top-level
+span completes (and every ``flush_every`` spans in between, so a long
+solve's iterations land on disk while the solve is still inside its
+enclosing ``hpcg/solve`` span).  ``kill -9`` therefore loses at most
+the spans since the last flush plus one partially-written line — and
+the reader tolerates exactly that.
+
+File layout (one JSON document per line):
+
+* line 1 — a **header**: ``{"kind": "repro-trace-stream",
+  "schema_version": 1, "run_id": ..., "epoch_unix": ..., "pid": ...}``;
+* span lines — :meth:`repro.obs.trace.SpanRecord.as_dict` documents in
+  completion order (children before parents, like the in-memory list);
+* an optional **footer** written by :meth:`StreamingSink.close`:
+  ``{"kind": "repro-trace-stream-end", "spans": N, "dropped": M}`` —
+  its *absence* is how a reader knows the run did not exit cleanly.
+
+Because the sink hangs off the tracer's sink hook it also receives
+spans the bounded in-memory store dropped past ``max_spans``: the
+stream is the unbounded record, the memory buffer the cheap one.
+
+Readers: :func:`read_stream` (header/spans/footer), and
+:func:`repro.obs.analyze.load_spans` understands ``.jsonl`` streams
+directly, so ``obs diff``/``flame``/``top`` work on partial traces
+unchanged.  :func:`validate_stream_text` is the ``obs validate`` gate.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import os
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.trace import SpanRecord, Tracer
+from repro.util.errors import InvalidValue
+
+#: The header/footer discriminator values.
+STREAM_KIND = "repro-trace-stream"
+STREAM_END_KIND = "repro-trace-stream-end"
+
+#: Stream schema version (bump on incompatible layout changes).
+STREAM_SCHEMA_VERSION = 1
+
+#: Keys every span line must carry to be loadable by the consumers.
+SPAN_KEYS = ("id", "name", "start", "wall_seconds", "modelled_seconds")
+
+#: Flush to the OS at least every this many spans even when no
+#: top-level span closes (a whole CG solve sits under one span).
+FLUSH_EVERY = 100
+
+
+class StreamingSink:
+    """Appends finished spans to ``path`` as JSONL, crash-safely.
+
+    Register on a tracer with :meth:`attach` (or pass ``tracer=``);
+    :meth:`close` writes the clean-exit footer and detaches.  A
+    finalizer is registered with :mod:`atexit` so an *orderly*
+    interpreter exit (unhandled exception, ``sys.exit``) still closes
+    the stream; a hard kill simply leaves the footer off, which the
+    readers treat as "partial trace", not an error.
+    """
+
+    def __init__(self, path: str, run_id: str = "",
+                 tracer: Optional[Tracer] = None,
+                 flush_every: int = FLUSH_EVERY):
+        if flush_every < 1:
+            raise InvalidValue(f"flush_every must be >= 1, got {flush_every}")
+        self.path = path
+        self.run_id = run_id
+        self.flush_every = flush_every
+        self.spans_written = 0
+        self._pending = 0
+        self._tracer: Optional[Tracer] = None
+        self._lock = threading.Lock()
+        self._fh = open(path, "w", encoding="utf-8")
+        self._write_line({
+            "kind": STREAM_KIND,
+            "schema_version": STREAM_SCHEMA_VERSION,
+            "run_id": run_id,
+            "epoch_unix": tracer.epoch_unix if tracer is not None else None,
+            "pid": os.getpid(),
+        })
+        self._fh.flush()
+        self._atexit = atexit.register(self.close)
+        if tracer is not None:
+            self.attach(tracer)
+
+    # the tracer calls the sink itself: sink(record)
+    def __call__(self, record: SpanRecord) -> None:
+        with self._lock:
+            if self._fh.closed:
+                return
+            self._write_line(record.as_dict())
+            self.spans_written += 1
+            self._pending += 1
+            if record.parent_id is None or self._pending >= self.flush_every:
+                self._fh.flush()
+                self._pending = 0
+
+    def _write_line(self, doc: Dict[str, Any]) -> None:
+        self._fh.write(json.dumps(doc, sort_keys=True, default=str) + "\n")
+
+    def attach(self, tracer: Tracer) -> "StreamingSink":
+        self._tracer = tracer
+        tracer.add_sink(self)
+        return self
+
+    def close(self) -> None:
+        """Write the clean-exit footer and detach; idempotent."""
+        with self._lock:
+            if self._fh.closed:
+                return
+            if self._tracer is not None:
+                self._tracer.remove_sink(self)
+            self._write_line({
+                "kind": STREAM_END_KIND,
+                "spans": self.spans_written,
+                "dropped": (self._tracer.dropped
+                            if self._tracer is not None else 0),
+            })
+            self._fh.close()
+        try:
+            atexit.unregister(self._atexit)
+        except Exception:
+            pass
+
+    def __enter__(self) -> "StreamingSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+# ---------------------------------------------------------------------------
+# reading
+# ---------------------------------------------------------------------------
+
+def parse_stream_text(
+    text: str,
+) -> Tuple[Dict[str, Any], List[Dict[str, Any]], Optional[Dict[str, Any]]]:
+    """``(header, spans, footer)`` from JSONL stream text.
+
+    Tolerates exactly the damage a hard kill causes: a truncated
+    *final* line is ignored (``footer`` comes back ``None``).  A
+    malformed line anywhere else, or a missing/foreign header, raises
+    :class:`InvalidValue` — that is corruption, not a crash artifact.
+    """
+    lines = text.splitlines()
+    if not lines:
+        raise InvalidValue("empty trace stream")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        raise InvalidValue(f"stream header is not JSON: {exc}") from exc
+    if not isinstance(header, dict) or header.get("kind") != STREAM_KIND:
+        raise InvalidValue(
+            f"not a trace stream: header kind "
+            f"{header.get('kind') if isinstance(header, dict) else header!r}"
+        )
+    if header.get("schema_version") != STREAM_SCHEMA_VERSION:
+        raise InvalidValue(
+            f"stream schema {header.get('schema_version')!r} != "
+            f"supported {STREAM_SCHEMA_VERSION}"
+        )
+    spans: List[Dict[str, Any]] = []
+    footer: Optional[Dict[str, Any]] = None
+    last = len(lines) - 1
+    for i, line in enumerate(lines[1:], start=1):
+        if not line.strip():
+            continue
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if i == last:          # the torn tail of a killed writer
+                break
+            raise InvalidValue(f"stream line {i + 1} is not JSON: "
+                               f"{exc}") from exc
+        if not isinstance(doc, dict):
+            raise InvalidValue(f"stream line {i + 1} is not an object")
+        if doc.get("kind") == STREAM_END_KIND:
+            footer = doc
+            continue
+        missing = [k for k in SPAN_KEYS if k not in doc]
+        if missing:
+            raise InvalidValue(
+                f"stream line {i + 1} span missing keys: "
+                f"{', '.join(missing)}"
+            )
+        spans.append(doc)
+    return header, spans, footer
+
+
+def read_stream(
+    path: str,
+) -> Tuple[Dict[str, Any], List[Dict[str, Any]], Optional[Dict[str, Any]]]:
+    """:func:`parse_stream_text` over a file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return parse_stream_text(fh.read())
+
+
+def load_stream_spans(path: str) -> List[Dict[str, Any]]:
+    """Just the span dicts of a stream file (partial traces included)."""
+    return read_stream(path)[1]
+
+
+def validate_stream_text(text: str) -> List[str]:
+    """Validate stream text; returns human-readable *warnings*.
+
+    Raises :class:`InvalidValue` on structural corruption.  A missing
+    footer (killed run) and dropped spans are warnings, not failures —
+    partial traces are the feature, and ``obs validate`` must accept
+    them.
+    """
+    header, spans, footer = parse_stream_text(text)
+    warnings: List[str] = []
+    if not spans:
+        warnings.append("stream carries no complete spans yet")
+    if footer is None:
+        warnings.append(
+            "no clean end marker: the run crashed, was killed, or is "
+            "still writing (partial trace)"
+        )
+    else:
+        if footer.get("spans") != len(spans):
+            raise InvalidValue(
+                f"footer says {footer.get('spans')} spans, stream "
+                f"carries {len(spans)}"
+            )
+        dropped = footer.get("dropped", 0)
+        if dropped:
+            warnings.append(
+                f"in-memory trace was truncated by max_spans "
+                f"({dropped} span(s) dropped; the stream kept them)"
+            )
+    return warnings

@@ -22,6 +22,17 @@ Recording is bounded: past ``max_spans`` new spans are counted as
 dropped instead of stored, so a long test suite under ``REPRO_TRACE=1``
 cannot grow without bound.  The tracer itself never touches the
 numerics — spans observe, they do not participate.
+
+Two live consumers can watch the tracer while it records:
+
+* **sinks** (:meth:`Tracer.add_sink`) receive every *finished*
+  :class:`SpanRecord` — including spans the bounded store dropped — so
+  a streaming writer (:mod:`repro.obs.stream`) can persist a trace
+  incrementally while the run is still going;
+* the **active-stack table** (:meth:`Tracer.active_stack`) exposes each
+  thread's currently-open span names as an immutable tuple, which is
+  what the sampling profiler (:mod:`repro.obs.profiler`) reads from its
+  own thread to attribute wall-clock samples to the innermost span.
 """
 
 from __future__ import annotations
@@ -143,11 +154,16 @@ class Tracer:
         self.max_spans = max_spans
         self.spans: List[SpanRecord] = []
         self.dropped = 0
+        self.sink_errors = 0
         self.epoch = time.perf_counter()
         self.epoch_unix = time.time()
         self._ids = itertools.count(1)
         self._lock = threading.Lock()
         self._tls = threading.local()
+        self._sinks: List[Any] = []
+        # thread ident -> tuple of open span names (root first); tuples
+        # are replaced wholesale so cross-thread reads need no lock
+        self._active: Dict[int, tuple] = {}
 
     # --- recording -----------------------------------------------------------
     def _stack(self) -> List[SpanHandle]:
@@ -165,6 +181,7 @@ class Tracer:
         handle._parent_id = stack[-1]._id if stack else None
         handle._id = next(self._ids)
         stack.append(handle)
+        self._active[threading.get_ident()] = tuple(h.name for h in stack)
         handle._t0 = time.perf_counter()
 
     def _close(self, handle: SpanHandle) -> None:
@@ -180,12 +197,17 @@ class Tracer:
                 top = stack.pop()
                 if top is handle:
                     break
+        tid = threading.get_ident()
+        if stack:
+            self._active[tid] = tuple(h.name for h in stack)
+        else:
+            self._active.pop(tid, None)
         record = SpanRecord(
             id=handle._id,
             parent_id=handle._parent_id,
             name=handle.name,
             category=handle.category,
-            thread=threading.get_ident(),
+            thread=tid,
             start=handle._t0 - self.epoch,
             wall_seconds=t1 - handle._t0,
             modelled_seconds=handle._modelled,
@@ -196,6 +218,7 @@ class Tracer:
                 self.dropped += 1
             else:
                 self.spans.append(record)
+        self._emit(record)
 
     def event(self, name: str, category: str = "",
               args: Optional[Dict[str, Any]] = None) -> None:
@@ -218,6 +241,44 @@ class Tracer:
                 self.dropped += 1
             else:
                 self.spans.append(record)
+        self._emit(record)
+
+    # --- live consumers ------------------------------------------------------
+    def add_sink(self, sink: Any) -> Any:
+        """Register a callable receiving every finished :class:`SpanRecord`.
+
+        Sinks see spans the bounded store dropped too (that is the
+        point: a streaming sink is not limited by ``max_spans``).  A
+        sink raising :class:`OSError` is counted in ``sink_errors`` and
+        never propagates into the instrumented code.
+        """
+        self._sinks.append(sink)
+        return sink
+
+    def remove_sink(self, sink: Any) -> None:
+        try:
+            self._sinks.remove(sink)
+        except ValueError:
+            pass
+
+    def _emit(self, record: SpanRecord) -> None:
+        for sink in self._sinks:
+            try:
+                sink(record)
+            except OSError:
+                self.sink_errors += 1
+
+    def active_stack(self, thread: int) -> tuple:
+        """The open span names of ``thread`` (root first), or ``()``.
+
+        Safe to call from any thread: the table maps thread idents to
+        immutable tuples that are swapped atomically on open/close.
+        """
+        return self._active.get(thread, ())
+
+    def active_threads(self) -> List[int]:
+        """Thread idents that currently have at least one open span."""
+        return list(self._active)
 
     # --- queries -------------------------------------------------------------
     def find(self, name: Optional[str] = None,
