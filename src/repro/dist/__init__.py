@@ -37,6 +37,16 @@ from repro.dist.comm import (
     SuperstepStats,
     resolve_comm_mode,
 )
+from repro.dist.faults import (
+    Checkpoint,
+    Crash,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    MessageLoss,
+    NodeCrash,
+    Straggler,
+)
 from repro.dist.halo import LocalRBGSExecutor, LocalSpmvExecutor
 from repro.dist.hybrid import HybridALPRun
 from repro.dist.hybrid2d import Hybrid2DRun
@@ -47,6 +57,7 @@ from repro.dist.partition import (
     bfs_partition,
     factor3,
     halo_for_owners,
+    largest_square,
 )
 from repro.dist.refdist import RefDistRun
 from repro.dist.result import DistRunResult
@@ -56,21 +67,30 @@ __all__ = [
     "BSPMachine",
     "Block1D",
     "BlockCyclic1D",
+    "Checkpoint",
     "CommTracker",
+    "Crash",
     "DistRunResult",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
     "Grid3DPartition",
     "Hybrid2DRun",
     "HybridALPRun",
     "InFlightExchange",
     "LocalRBGSExecutor",
     "LocalSpmvExecutor",
+    "MessageLoss",
+    "NodeCrash",
     "RefDistRun",
+    "Straggler",
     "SuperstepStats",
     "X86_NODE",
     "bfs_partition",
     "bsp_time",
     "factor3",
     "halo_for_owners",
+    "largest_square",
     "resolve_comm_mode",
     "tracker_comm_time",
     "tracker_exposed_comm_time",

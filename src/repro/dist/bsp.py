@@ -136,6 +136,20 @@ class BSPMachine:
         """Seconds for a purely local operation (no barrier, no network)."""
         return work_bytes / self.mem_bandwidth
 
+    def retry_comm_time(self, h_bytes: float, attempt: int = 0,
+                        backoff: float = 0.0) -> float:
+        """Price of re-driving a lost exchange (fault injection).
+
+        The ``attempt``-th retry pays the full wire time again plus an
+        exponential sender backoff of ``backoff * 2**attempt`` seconds —
+        a bounded-retry transport, with no compute to hide behind.
+        """
+        if attempt < 0:
+            raise InvalidValue(f"retry attempt must be >= 0, got {attempt}")
+        if backoff < 0:
+            raise InvalidValue(f"retry backoff must be >= 0, got {backoff}")
+        return self.comm_time(h_bytes) + backoff * (2.0 ** attempt)
+
     def superstep_costs(self, work_bytes: float, h_bytes: float,
                         overlap_bytes: float = 0.0,
                         overlap_efficiency: Optional[float] = None

@@ -93,6 +93,9 @@ class SuperstepStats:
     #: True when the superstep was closed by ``post``/``wait`` rather
     #: than an eager ``sync``.
     posted: bool = False
+    #: index of the superstep this one re-drives (fault injection: a
+    #: lost exchange is resent as an extra superstep); None normally.
+    retry_of: Optional[int] = None
 
     @property
     def total_bytes(self) -> int:
@@ -313,6 +316,39 @@ class CommTracker:
                 "posted": False,
             })
         return stats
+
+    # --- fault-injected retries ----------------------------------------------
+    def retry(self, stats: SuperstepStats,
+              label: Optional[str] = None) -> SuperstepStats:
+        """Re-drive a closed superstep's messages as an extra superstep.
+
+        The fault model prices a lost exchange as a full resend: the
+        retry moves the same bytes between the same nodes, closes its
+        own barrier, and carries ``retry_of`` pointing at the original
+        so traces can separate first deliveries from re-deliveries.
+        Nothing is overlapped — a retry is pure exposed wire time.
+        """
+        label = label if label is not None else stats.label
+        retry = SuperstepStats(
+            index=len(self.supersteps),
+            sent=stats.sent,
+            received=stats.received,
+            messages=stats.messages,
+            label=label,
+            retry_of=stats.index,
+        )
+        self.supersteps.append(retry)
+        if label is not None:
+            self.label_bytes[label] = (self.label_bytes.get(label, 0)
+                                       + retry.total_bytes)
+            self.label_syncs[label] = self.label_syncs.get(label, 0) + 1
+        if obs.enabled():
+            obs.event("comm/retry", "comm", {
+                "index": retry.index, "retry_of": stats.index,
+                "label": label, "h": retry.h, "bytes": retry.total_bytes,
+                "messages": retry.messages,
+            })
+        return retry
 
     # --- aggregates ---------------------------------------------------------
     @property

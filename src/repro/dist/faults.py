@@ -1,0 +1,520 @@
+"""First-class fault model for the simulated distributed solver.
+
+The paper's story is CG+MG on capability-scale machines, where
+stragglers, heterogeneous nodes, lost messages and outright node
+failures are the steady state.  This module makes those scenarios a
+declarative, *deterministic* input to the simulated runs:
+
+* a :class:`FaultPlan` — JSON-loadable and schema-validated — declares
+  **stragglers** (transient or permanent per-node slowdown windows),
+  **heterogeneous node speeds** (optionally sourced from multiple
+  cached :mod:`repro.tune` profiles), **message loss** on exchanges
+  (priced as bounded retry/backoff supersteps) and **node crashes** at
+  a given superstep, plus the checkpoint cadence recovery relies on;
+
+* a :class:`FaultInjector` executes the plan against one run: it owns
+  a seeded generator (same seed → identical injected events, bit for
+  bit), tracks which nodes are alive, scales the BSP work term so the
+  max-over-nodes superstep price reflects the laggard, draws retry
+  counts for lossy exchanges, and raises :class:`NodeCrash` when a
+  planned failure reaches its superstep.
+
+Recovery itself lives in :mod:`repro.dist.simulate`: the engine
+checkpoints CG state every ``checkpoint.interval`` iterations (priced
+as a gather superstep), and on a crash rolls back to the last
+checkpoint, repartitions the problem onto the survivors with the
+existing partitioners, and resumes — so a crashed run completes with a
+correct residual and an honest time-to-solution.
+
+Faults change **pricing and the execution path only** — never the
+numerics: every fault-free run is bit-identical to a run constructed
+with ``faults=None``, and a recovered run's residual history equals
+the clean run's exactly (CG state is global; partitioning only decides
+who communicates what).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.util.errors import InvalidValue
+
+
+class NodeCrash(Exception):
+    """Control-flow signal: a planned node failure reached its superstep.
+
+    Raised by :meth:`FaultInjector.check_crash` out of the pricing
+    engine; caught by the resilient run loop, which rolls back and
+    repartitions.  Deliberately *not* an :class:`InvalidValue` — a
+    crash is a simulated event, not a caller mistake.
+    """
+
+    def __init__(self, node: int, superstep: int):
+        super().__init__(f"node {node} crashed at superstep {superstep}")
+        self.node = node
+        self.superstep = superstep
+
+
+# ---------------------------------------------------------------------------
+# the declarative plan
+# ---------------------------------------------------------------------------
+
+def _require_keys(doc: Mapping[str, Any], allowed: Sequence[str],
+                  where: str) -> None:
+    if not isinstance(doc, Mapping):
+        raise InvalidValue(f"{where} must be an object, got {type(doc).__name__}")
+    unknown = set(doc) - set(allowed)
+    if unknown:
+        raise InvalidValue(
+            f"unknown key(s) {sorted(unknown)} in {where}; "
+            f"allowed: {sorted(allowed)}"
+        )
+
+
+def _as_int(value: Any, where: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise InvalidValue(f"{where} must be an integer, got {value!r}")
+    return value
+
+
+def _as_number(value: Any, where: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise InvalidValue(f"{where} must be a number, got {value!r}")
+    return float(value)
+
+
+@dataclass(frozen=True)
+class Straggler:
+    """One node running slow: its work term is scaled by ``factor``
+    for every superstep in ``[start_superstep, end_superstep)``
+    (``end_superstep=None`` makes the slowdown permanent)."""
+
+    node: int
+    factor: float
+    start_superstep: int = 0
+    end_superstep: Optional[int] = None
+
+    def __post_init__(self):
+        if self.node < 0:
+            raise InvalidValue(f"straggler node must be >= 0, got {self.node}")
+        if self.factor < 1.0:
+            raise InvalidValue(
+                f"straggler factor must be >= 1 (a slowdown), "
+                f"got {self.factor}"
+            )
+        if self.start_superstep < 0:
+            raise InvalidValue(
+                f"start_superstep must be >= 0, got {self.start_superstep}")
+        if (self.end_superstep is not None
+                and self.end_superstep <= self.start_superstep):
+            raise InvalidValue(
+                f"straggler window [{self.start_superstep}, "
+                f"{self.end_superstep}) is empty"
+            )
+
+    def active_at(self, superstep: int) -> bool:
+        return (self.start_superstep <= superstep
+                and (self.end_superstep is None
+                     or superstep < self.end_superstep))
+
+
+@dataclass(frozen=True)
+class MessageLoss:
+    """Lossy exchanges: each closed exchange superstep independently
+    loses its messages with probability ``rate``; every loss is re-driven
+    as an extra retry superstep (full wire time plus an exponential
+    ``backoff``-seconds delay), at most ``max_retries`` times."""
+
+    rate: float
+    max_retries: int = 3
+    backoff: float = 2e-5
+
+    def __post_init__(self):
+        if not (0.0 <= self.rate < 1.0):
+            raise InvalidValue(
+                f"message-loss rate must lie in [0, 1), got {self.rate}")
+        if self.max_retries < 1:
+            raise InvalidValue(
+                f"max_retries must be >= 1, got {self.max_retries}")
+        if self.backoff < 0:
+            raise InvalidValue(f"backoff must be >= 0, got {self.backoff}")
+
+
+@dataclass(frozen=True)
+class Crash:
+    """Node ``node`` fails permanently at superstep ``superstep``."""
+
+    node: int
+    superstep: int
+
+    def __post_init__(self):
+        if self.node < 0:
+            raise InvalidValue(f"crash node must be >= 0, got {self.node}")
+        if self.superstep < 0:
+            raise InvalidValue(
+                f"crash superstep must be >= 0, got {self.superstep}")
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """Snapshot CG state every ``interval`` iterations.
+
+    Each snapshot is priced as a gather superstep (every node ships its
+    share of the three CG vectors to node 0, which persists them to
+    stable storage) — the overhead a crashed run's recovery amortises.
+    """
+
+    interval: int
+
+    def __post_init__(self):
+        if self.interval < 1:
+            raise InvalidValue(
+                f"checkpoint interval must be >= 1, got {self.interval}")
+
+
+_PLAN_KEYS = ("seed", "stragglers", "node_speeds", "message_loss",
+              "crashes", "checkpoint")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The declarative fault scenario one resilient run executes.
+
+    ``node_speeds`` maps node id -> relative speed (1.0 = the machine
+    baseline; 0.5 = half speed).  All node ids refer to the *initial*
+    rank numbering; after a crash the survivors keep their original
+    ids for fault-plan purposes, so a straggler stays a straggler
+    across a repartition.
+    """
+
+    seed: int = 0
+    stragglers: Tuple[Straggler, ...] = ()
+    node_speeds: Mapping[int, float] = field(default_factory=dict)
+    message_loss: Optional[MessageLoss] = None
+    crashes: Tuple[Crash, ...] = ()
+    checkpoint: Optional[Checkpoint] = None
+
+    def __post_init__(self):
+        for node, speed in self.node_speeds.items():
+            if node < 0:
+                raise InvalidValue(f"node_speeds node must be >= 0, got {node}")
+            if speed <= 0:
+                raise InvalidValue(
+                    f"node {node} speed must be positive, got {speed}")
+
+    def active(self) -> bool:
+        """Does this plan change the run at all?  An empty plan keeps
+        the engine on the bit-identical fault-free path."""
+        return bool(self.stragglers or self.node_speeds or self.crashes
+                    or self.message_loss is not None
+                    or self.checkpoint is not None)
+
+    def validate_for(self, nprocs: int) -> None:
+        """Check every node reference fits a run of ``nprocs`` nodes and
+        that the planned crashes leave at least one survivor."""
+        for st in self.stragglers:
+            if st.node >= nprocs:
+                raise InvalidValue(
+                    f"straggler node {st.node} out of range for "
+                    f"{nprocs} nodes")
+        for node in self.node_speeds:
+            if node >= nprocs:
+                raise InvalidValue(
+                    f"node_speeds node {node} out of range for "
+                    f"{nprocs} nodes")
+        crashed = set()
+        for crash in self.crashes:
+            if crash.node >= nprocs:
+                raise InvalidValue(
+                    f"crash node {crash.node} out of range for "
+                    f"{nprocs} nodes")
+            crashed.add(crash.node)
+        if len(crashed) >= nprocs:
+            raise InvalidValue(
+                f"plan crashes all {nprocs} nodes — no survivors to "
+                f"recover onto")
+
+    # --- (de)serialisation ---------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {"seed": self.seed}
+        if self.stragglers:
+            doc["stragglers"] = [
+                {k: v for k, v in (
+                    ("node", st.node), ("factor", st.factor),
+                    ("start_superstep", st.start_superstep),
+                    ("end_superstep", st.end_superstep),
+                ) if v is not None}
+                for st in self.stragglers
+            ]
+        if self.node_speeds:
+            doc["node_speeds"] = {str(k): v
+                                  for k, v in sorted(self.node_speeds.items())}
+        if self.message_loss is not None:
+            ml = self.message_loss
+            doc["message_loss"] = {"rate": ml.rate,
+                                   "max_retries": ml.max_retries,
+                                   "backoff": ml.backoff}
+        if self.crashes:
+            doc["crashes"] = [{"node": c.node, "superstep": c.superstep}
+                              for c in self.crashes]
+        if self.checkpoint is not None:
+            doc["checkpoint"] = {"interval": self.checkpoint.interval}
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "FaultPlan":
+        _require_keys(doc, _PLAN_KEYS, "fault plan")
+        stragglers = []
+        for i, st in enumerate(doc.get("stragglers", [])):
+            where = f"stragglers[{i}]"
+            _require_keys(st, ("node", "factor", "start_superstep",
+                               "end_superstep"), where)
+            end = st.get("end_superstep")
+            stragglers.append(Straggler(
+                node=_as_int(st.get("node"), f"{where}.node"),
+                factor=_as_number(st.get("factor"), f"{where}.factor"),
+                start_superstep=_as_int(st.get("start_superstep", 0),
+                                        f"{where}.start_superstep"),
+                end_superstep=(None if end is None else
+                               _as_int(end, f"{where}.end_superstep")),
+            ))
+        speeds: Dict[int, float] = {}
+        for key, value in dict(doc.get("node_speeds", {})).items():
+            try:
+                node = int(key)
+            except (TypeError, ValueError):
+                raise InvalidValue(
+                    f"node_speeds key {key!r} is not a node id")
+            speeds[node] = _as_number(value, f"node_speeds[{key}]")
+        loss = None
+        if doc.get("message_loss") is not None:
+            ml = doc["message_loss"]
+            _require_keys(ml, ("rate", "max_retries", "backoff"),
+                          "message_loss")
+            loss = MessageLoss(
+                rate=_as_number(ml.get("rate"), "message_loss.rate"),
+                max_retries=_as_int(ml.get("max_retries", 3),
+                                    "message_loss.max_retries"),
+                backoff=_as_number(ml.get("backoff", 2e-5),
+                                   "message_loss.backoff"),
+            )
+        crashes = []
+        for i, c in enumerate(doc.get("crashes", [])):
+            where = f"crashes[{i}]"
+            _require_keys(c, ("node", "superstep"), where)
+            crashes.append(Crash(
+                node=_as_int(c.get("node"), f"{where}.node"),
+                superstep=_as_int(c.get("superstep"), f"{where}.superstep"),
+            ))
+        checkpoint = None
+        if doc.get("checkpoint") is not None:
+            ck = doc["checkpoint"]
+            _require_keys(ck, ("interval",), "checkpoint")
+            checkpoint = Checkpoint(
+                interval=_as_int(ck.get("interval"), "checkpoint.interval"))
+        return cls(
+            seed=_as_int(doc.get("seed", 0), "seed"),
+            stragglers=tuple(stragglers),
+            node_speeds=speeds,
+            message_loss=loss,
+            crashes=tuple(crashes),
+            checkpoint=checkpoint,
+        )
+
+    @classmethod
+    def from_json(cls, path: str) -> "FaultPlan":
+        """Load and schema-validate a plan file; every failure mode —
+        missing file, unparsable JSON, schema violation — raises
+        :class:`InvalidValue` with a one-line message."""
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except OSError as exc:
+            raise InvalidValue(f"cannot read fault plan {path!r}: {exc}")
+        except json.JSONDecodeError as exc:
+            raise InvalidValue(f"fault plan {path!r} is not valid JSON: {exc}")
+        return cls.from_dict(doc)
+
+    def to_json(self, path: str) -> str:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return path
+
+    @staticmethod
+    def speeds_from_profiles(profiles: Sequence[Any],
+                             nprocs: int) -> Dict[int, float]:
+        """Heterogeneous node speeds from multiple cached tune profiles.
+
+        Each :class:`~repro.tune.profile.MachineProfile`'s STREAM triad
+        bandwidth becomes a relative speed (fastest profile = 1.0), and
+        the profiles are dealt round-robin across the ``nprocs`` nodes —
+        a cluster built from several measured machine generations.
+        """
+        if not profiles:
+            raise InvalidValue("need at least one profile for node speeds")
+        triads = [float(p.triad_bandwidth) for p in profiles]
+        fastest = max(triads)
+        return {node: triads[node % len(triads)] / fastest
+                for node in range(nprocs)}
+
+
+# ---------------------------------------------------------------------------
+# events and the injector
+# ---------------------------------------------------------------------------
+
+@dataclass
+class FaultEvent:
+    """One injected fault, as it landed in the run."""
+
+    kind: str                      # straggler | node_speeds | message_loss
+    superstep: int                 # | crash | checkpoint | recovery
+    node: Optional[int] = None
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {"kind": self.kind, "superstep": self.superstep}
+        if self.node is not None:
+            doc["node"] = self.node
+        if self.detail:
+            doc["detail"] = dict(self.detail)
+        return doc
+
+
+class FaultInjector:
+    """Executes one :class:`FaultPlan` against one resilient run.
+
+    All randomness flows through one ``numpy`` generator seeded with
+    ``plan.seed``, and draws happen at deterministic points (one
+    bounded sequence per closed exchange superstep), so the same plan
+    against the same run yields byte-identical events and pricing.
+
+    The injector survives recovery: the respawned survivor run keeps
+    using the same instance, so superstep numbering, the alive set and
+    the event log are continuous across repartitions.
+    """
+
+    def __init__(self, plan: FaultPlan, nprocs: int):
+        plan.validate_for(nprocs)
+        self.plan = plan
+        self.nprocs = nprocs
+        self.rng = np.random.default_rng(plan.seed)
+        self.alive = set(range(nprocs))
+        self.superstep = 0            # next superstep index to be priced
+        self.events: List[FaultEvent] = []
+        self.recoveries = 0
+        self.exchange_retries = 0
+        self._pending_crashes = sorted(plan.crashes,
+                                       key=lambda c: c.superstep)
+        self._mentioned = ({st.node for st in plan.stragglers}
+                           | set(plan.node_speeds))
+        self._announced: set = set()
+        self._speeds_announced = False
+        #: optional callback fired on every recorded event — the engine
+        #: hangs trace events and metric increments off it
+        self.on_event = None
+
+    # --- bookkeeping ---------------------------------------------------------
+    @property
+    def alive_count(self) -> int:
+        return len(self.alive)
+
+    def record(self, kind: str, superstep: int,
+               node: Optional[int] = None, **detail: Any) -> FaultEvent:
+        event = FaultEvent(kind=kind, superstep=superstep, node=node,
+                           detail=detail)
+        self.events.append(event)
+        if self.on_event is not None:
+            self.on_event(event)
+        return event
+
+    def announce_speeds(self) -> None:
+        """Record the heterogeneous-speed assignment once per run."""
+        if self.plan.node_speeds and not self._speeds_announced:
+            self._speeds_announced = True
+            self.record("node_speeds", 0, speeds={
+                str(k): v for k, v in sorted(self.plan.node_speeds.items())})
+
+    def injected_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    # --- per-superstep hooks (called by the pricing engine) ------------------
+    def begin_superstep(self) -> int:
+        """Claim the next superstep index (every priced barrier —
+        exchanges, dots, retries, checkpoints — advances the clock)."""
+        s = self.superstep
+        self.superstep += 1
+        return s
+
+    def work_factor(self, superstep: Optional[int] = None) -> float:
+        """The multiplier on this superstep's BSP work term.
+
+        The work term is already the max-over-nodes byte count, so the
+        honest degraded price is the *slowest* surviving node's factor:
+        ``max over alive n of (straggler factors of n at s) / speed(n)``
+        (1.0 for every node the plan does not mention).
+        """
+        if superstep is None:
+            superstep = max(self.superstep - 1, 0)
+        candidates = []
+        if self.alive - self._mentioned:
+            candidates.append(1.0)
+        for node in self._mentioned & self.alive:
+            f = 1.0
+            for idx, st in enumerate(self.plan.stragglers):
+                if st.node == node and st.active_at(superstep):
+                    f *= st.factor
+                    if idx not in self._announced:
+                        self._announced.add(idx)
+                        self.record("straggler", superstep, node=node,
+                                    factor=st.factor,
+                                    end_superstep=st.end_superstep)
+            f /= self.plan.node_speeds.get(node, 1.0)
+            candidates.append(f)
+        return max(candidates) if candidates else 1.0
+
+    def exchange_retries_for(self, h: int, label: Optional[str],
+                             superstep: int) -> int:
+        """Seeded retry count for one closed exchange superstep.
+
+        Draws one uniform per (re)delivery attempt: the exchange is
+        lost while the draw lands under ``rate``, up to ``max_retries``
+        resends (the transport then falls back to its slow reliable
+        path — delivery is never abandoned, only priced).
+        """
+        loss = self.plan.message_loss
+        if loss is None or h <= 0:
+            return 0
+        retries = 0
+        while retries < loss.max_retries and self.rng.random() < loss.rate:
+            retries += 1
+        if retries:
+            self.exchange_retries += retries
+            self.record("message_loss", superstep, label=label,
+                        retries=retries)
+        return retries
+
+    def check_crash(self, superstep: int) -> None:
+        """Raise :class:`NodeCrash` when a planned failure is due.
+
+        Crashes are detected at the superstep barrier — the superstep
+        itself is already priced — and each planned crash fires at most
+        once (a node already dead from an earlier crash is skipped).
+        """
+        while (self._pending_crashes
+               and self._pending_crashes[0].superstep <= superstep):
+            crash = self._pending_crashes.pop(0)
+            if crash.node not in self.alive:
+                continue
+            self.alive.discard(crash.node)
+            self.record("crash", superstep, node=crash.node,
+                        planned_superstep=crash.superstep,
+                        survivors=len(self.alive))
+            raise NodeCrash(crash.node, superstep)

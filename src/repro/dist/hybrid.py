@@ -68,14 +68,21 @@ class HybridALPRun(SimulatedDistRun):
                  overlap_efficiency: Optional[float] = None,
                  agglomerate_below: int = 0,
                  execute_local: bool = False,
-                 node_threads: Optional[int] = None):
+                 node_threads: Optional[int] = None,
+                 faults=None):
         self._block = block
         super().__init__(problem, nprocs, mg_levels, machine,
                          comm_mode=comm_mode,
                          overlap_efficiency=overlap_efficiency,
                          agglomerate_below=agglomerate_below,
                          execute_local=execute_local,
-                         node_threads=node_threads)
+                         node_threads=node_threads,
+                         faults=faults)
+
+    def _respawn_kwargs(self) -> dict:
+        kw = super()._respawn_kwargs()
+        kw["block"] = self._block
+        return kw
 
     def _init_level_comm(self, level: SimLevel) -> None:
         p = self.nprocs

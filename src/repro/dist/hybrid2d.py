@@ -29,7 +29,7 @@ from typing import Optional
 import numpy as np
 
 from repro.dist.bsp import BSPMachine
-from repro.dist.partition import Block1D
+from repro.dist.partition import Block1D, largest_square
 from repro.dist.simulate import (
     SimLevel,
     SimulatedDistRun,
@@ -52,7 +52,8 @@ class Hybrid2DRun(SimulatedDistRun):
                  overlap_efficiency: Optional[float] = None,
                  agglomerate_below: int = 0,
                  execute_local: bool = False,
-                 node_threads: Optional[int] = None):
+                 node_threads: Optional[int] = None,
+                 faults=None):
         q = int(round(math.sqrt(nprocs)))
         if q * q != nprocs:
             raise InvalidValue(
@@ -65,7 +66,14 @@ class Hybrid2DRun(SimulatedDistRun):
                          overlap_efficiency=overlap_efficiency,
                          agglomerate_below=agglomerate_below,
                          execute_local=execute_local,
-                         node_threads=node_threads)
+                         node_threads=node_threads,
+                         faults=faults)
+
+    def _respawn(self, nprocs: int) -> "Hybrid2DRun":
+        """The √p x √p grid needs a square node count: continue on the
+        largest square subset of the survivors."""
+        return type(self)(self.problem, largest_square(nprocs),
+                          **self._respawn_kwargs())
 
     def _rank(self, i: int, j: int) -> int:
         return i * self.q + j

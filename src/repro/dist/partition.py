@@ -111,6 +111,24 @@ def factor3(p: int) -> Tuple[int, int, int]:
     return px, py, pz
 
 
+def largest_square(p: int) -> int:
+    """The largest perfect square not exceeding ``p``.
+
+    Fault recovery uses this to respawn the 2D block backend on a
+    survivor set: a ``√p x √p`` process grid needs a square node count,
+    so after losing nodes the run continues on the largest square
+    subset of the survivors.
+    """
+    if p < 1:
+        raise InvalidValue(f"need at least one process, got {p}")
+    q = int(p ** 0.5)
+    while q * q > p:
+        q -= 1
+    while (q + 1) * (q + 1) <= p:
+        q += 1
+    return q * q
+
+
 class Grid3DPartition:
     """Axis-aligned boxes over a :class:`Grid3D`.
 

@@ -72,7 +72,8 @@ class RefDistRun(SimulatedDistRun):
                  overlap_efficiency: Optional[float] = None,
                  agglomerate_below: int = 0,
                  execute_local: bool = False,
-                 node_threads: Optional[int] = None):
+                 node_threads: Optional[int] = None,
+                 faults=None):
         if partition not in PARTITIONS:
             raise InvalidValue(
                 f"unknown partition {partition!r}, "
@@ -85,7 +86,26 @@ class RefDistRun(SimulatedDistRun):
                          overlap_efficiency=overlap_efficiency,
                          agglomerate_below=agglomerate_below,
                          execute_local=execute_local,
-                         node_threads=node_threads)
+                         node_threads=node_threads,
+                         faults=faults)
+
+    # --- crash recovery ------------------------------------------------------
+    def _respawn_kwargs(self) -> dict:
+        kw = super()._respawn_kwargs()
+        kw["partition"] = self._partition_kind
+        return kw
+
+    def _respawn(self, nprocs: int) -> "RefDistRun":
+        """Repartition onto the survivors: geometric boxes when the
+        survivor count still factors into the grid, else fall back to
+        the black-box BFS partition (which accepts any node count)."""
+        kw = self._respawn_kwargs()
+        if kw["partition"] == "grid3d":
+            try:
+                return type(self)(self.problem, nprocs, **kw)
+            except InvalidValue:
+                kw["partition"] = "bfs"
+        return type(self)(self.problem, nprocs, **kw)
 
     def _init_level_comm(self, level: SimLevel) -> None:
         p = self.nprocs

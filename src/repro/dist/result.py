@@ -61,6 +61,11 @@ class DistRunResult:
     #: measured serial/threaded ratio of the node-local SpMV pass; it
     #: scaled every superstep's work term (1.0 = no hybrid execution)
     node_speedup: float = 1.0
+    #: fault-injection summary (:mod:`repro.dist.faults`) when the run
+    #: executed under an active FaultPlan: the plan + seed, every
+    #: injected event, recovery/checkpoint/retry counts and the
+    #: checkpoint overhead in modelled seconds; None for clean runs
+    resilience: Optional[Dict] = None
 
     @property
     def final_residual(self) -> float:
@@ -121,6 +126,15 @@ class DistRunResult:
             f"x{self.node_speedup:.2f} measured]"
             if self.executed_local else ""
         )
+        faulted = ""
+        if self.resilience is not None:
+            r = self.resilience
+            faulted = (
+                f" [faults: {len(r.get('events', []))} events, "
+                f"{r.get('recoveries', 0)} recoveries, "
+                f"{r.get('checkpoints', 0)} checkpoints, "
+                f"{r.get('exchange_retries', 0)} retries]"
+            )
         return (
             f"{self.backend}: p={self.nprocs}, n={self.n}, "
             f"{self.iterations} iterations, final residual {final:.3e}, "
@@ -128,5 +142,5 @@ class DistRunResult:
             f"comm {self.comm_bytes / 1e6:.3f} MB over {self.syncs} "
             f"supersteps [{self.comm_mode}: "
             f"{self.exposed_comm_seconds:.6f}s exposed of "
-            f"{self.comm_seconds:.6f}s wire time]{priced}{hybrid}"
+            f"{self.comm_seconds:.6f}s wire time]{priced}{hybrid}{faulted}"
         )

@@ -74,7 +74,8 @@ import scipy.sparse as sp
 
 from repro import obs
 from repro.dist.bsp import ARM_CLUSTER_NODE, BSPMachine
-from repro.dist.comm import CommTracker, resolve_comm_mode
+from repro.dist.comm import CommTracker, SuperstepStats, resolve_comm_mode
+from repro.dist.faults import FaultInjector, FaultPlan, NodeCrash
 from repro.dist.cost import (
     _DOT_BYTES,
     _MXV_NNZ_BYTES,
@@ -118,6 +119,25 @@ class SimLevel:
         self.agg_color_work: List[float] = []
 
 
+class CGCheckpoint:
+    """One CG-state snapshot: everything a rollback needs to resume
+    iteration ``k + 1`` exactly where the clean run would be."""
+
+    __slots__ = ("k", "x", "r", "p", "rtz", "normr", "normr0", "residuals")
+
+    def __init__(self, k: int, x: np.ndarray, r: np.ndarray, p: np.ndarray,
+                 rtz: float, normr: float, normr0: float,
+                 residuals: List[float]):
+        self.k = k
+        self.x = x
+        self.r = r
+        self.p = p
+        self.rtz = rtz
+        self.normr = normr
+        self.normr0 = normr0
+        self.residuals = residuals
+
+
 class SimulatedDistRun:
     """Base class: exact CG+MG numerics with pluggable communication."""
 
@@ -129,7 +149,8 @@ class SimulatedDistRun:
                  overlap_efficiency: Optional[float] = None,
                  agglomerate_below: int = 0,
                  execute_local: bool = False,
-                 node_threads: Optional[int] = None):
+                 node_threads: Optional[int] = None,
+                 faults: Optional[FaultPlan] = None):
         if machine is None:
             # no machine pinned: the Table-II ARM preset, but with the
             # *measured* overlap efficiency when this machine has a
@@ -209,6 +230,16 @@ class SimulatedDistRun:
                 ]
             else:
                 self._init_level_comm(level)
+        # fault model: an inactive plan keeps run_cg on the
+        # bit-identical fault-free path
+        if faults is not None:
+            faults.validate_for(nprocs)
+        self.faults = faults
+        self._injector: Optional[FaultInjector] = None
+        self._checkpoint_state: Optional[CGCheckpoint] = None
+        self._checkpoint_seconds = 0.0
+        self._checkpoints = 0
+        self._current_iteration = 0
         # populated by run_cg
         self.tracker: Optional[CommTracker] = None
         self.timers: Optional[TimerRegistry] = None
@@ -220,6 +251,10 @@ class SimulatedDistRun:
         self._m_supersteps = None
         self._m_h = None
         self._m_comm = None
+        self._m_faults = None
+        self._m_retries = None
+        self._m_ckpt = None
+        self._m_recoveries = None
 
     # --- backend hooks -------------------------------------------------------
     def _init_level_comm(self, level: SimLevel) -> None:
@@ -267,6 +302,9 @@ class SimulatedDistRun:
             stats = self.tracker.sync(label=sync_label)
             overlap_bytes = 0.0
         self._tick_superstep(timer_key, work_bytes, stats.h, overlap_bytes)
+        if (self._injector is not None
+                and self._injector.plan.message_loss is not None):
+            self._retry_exchange(stats, sync_label, timer_key)
 
     # --- pricing helpers -----------------------------------------------------
     def _tick(self, key: str, seconds: float) -> None:
@@ -275,6 +313,16 @@ class SimulatedDistRun:
 
     def _tick_superstep(self, key: str, work_bytes: float, h: int,
                         overlap_bytes: float = 0.0) -> None:
+        inj = self._injector
+        if inj is not None:
+            # every barrier advances the fault clock; the slowest
+            # surviving node's straggler/speed factor inflates the
+            # max-over-nodes work term (and what it could overlap)
+            step = inj.begin_superstep()
+            factor = inj.work_factor(step)
+            if factor != 1.0:
+                work_bytes *= factor
+                overlap_bytes *= factor
         if self.node_speedup != 1.0:
             # measured hybrid speedup scales the compute terms only:
             # wire terms are unchanged (threads share the NIC), and a
@@ -306,10 +354,50 @@ class SimulatedDistRun:
             self._m_comm.inc(costs["comm_full"], kind="full")
             self._m_comm.inc(costs["comm_exposed"], kind="exposed")
             self._m_comm.inc(costs["comm_hidden"], kind="hidden")
+        if inj is not None:
+            # crashes surface at the barrier: the superstep is priced,
+            # then the failure is detected
+            inj.check_crash(step)
 
     def _tick_local(self, key: str, work_bytes: float) -> None:
+        if self._injector is not None:
+            work_bytes *= self._injector.work_factor(
+                self._injector.superstep)
         self._tick(key, self.machine.work_time(
             work_bytes / self.node_speedup))
+
+    def _retry_exchange(self, stats: SuperstepStats, sync_label: str,
+                        timer_key: str) -> None:
+        """Price the seeded re-deliveries of one lossy exchange.
+
+        Each retry is a real extra superstep: the tracker re-drives the
+        same messages (``retry_of`` links it to the original), and the
+        machine charges the full wire time again plus the exponential
+        sender backoff — nothing hidden, a retry has no compute to
+        overlap.
+        """
+        inj = self._injector
+        loss = inj.plan.message_loss
+        origin = inj.superstep - 1          # the just-priced superstep
+        retries = inj.exchange_retries_for(stats.h, sync_label, origin)
+        for attempt in range(retries):
+            retry_stats = self.tracker.retry(stats, label=sync_label)
+            step = inj.begin_superstep()
+            cost = self.machine.retry_comm_time(stats.h, attempt,
+                                                loss.backoff)
+            self._tick(timer_key, cost)
+            self._comm_seconds += cost
+            self._exposed_comm_seconds += cost
+            self.comm_timers.tick(f"full/{timer_key}", cost)
+            self.comm_timers.tick(f"exposed/{timer_key}", cost)
+            if self._m_retries is not None:
+                self._m_retries.inc(1, label=sync_label)
+            if self._m_supersteps is not None:
+                self._m_supersteps.inc(1, mode=self.comm_mode)
+                self._m_h.observe(retry_stats.h)
+                self._m_comm.inc(cost, kind="full")
+                self._m_comm.inc(cost, kind="exposed")
+            inj.check_crash(step)
 
     # --- hybrid node-local execution -----------------------------------------
     #: timing repeats per calibration pass (best-of, noise rejection)
@@ -525,21 +613,19 @@ class SimulatedDistRun:
         self._vcycle(0, z, r)
         return z
 
-    def run_cg(self, max_iters: int = 50, use_mg: bool = True,
-               tolerance: float = 0.0) -> DistRunResult:
-        """Simulate a full preconditioned CG solve.
-
-        The iteration structure transcribes :func:`repro.hpcg.cg.pcg`
-        operation for operation, so the residual history is
-        bit-identical to the serial driver's — in either communication
-        mode, which changes pricing only.
-        """
+    # --- run bookkeeping -----------------------------------------------------
+    def _fresh_clocks(self) -> None:
+        """Reset every accumulator a solve writes into."""
         self.tracker = CommTracker(self.nprocs)
         self.timers = TimerRegistry()
         self.comm_timers = TimerRegistry()
         self._seconds = 0.0
         self._comm_seconds = 0.0
         self._exposed_comm_seconds = 0.0
+
+    def _arm_metrics(self):
+        """Arm the per-run metric taps; returns the CG progress tuple
+        ``(res_series, iter_gauge, res_gauge)`` (Nones when off)."""
         registry = obs.metrics_registry()
         self._m_supersteps = self._m_h = self._m_comm = None
         res_series = iter_gauge = res_gauge = None
@@ -560,6 +646,383 @@ class SimulatedDistRun:
             res_gauge = registry.gauge(
                 "dist_cg_residual_last",
                 "most recent simulated-CG residual 2-norm")
+        return res_series, iter_gauge, res_gauge
+
+    def _arm_fault_metrics(self) -> None:
+        registry = obs.metrics_registry()
+        self._m_faults = self._m_retries = None
+        self._m_ckpt = self._m_recoveries = None
+        if registry is not None:
+            self._m_faults = registry.counter(
+                "faults_injected_total", "injected fault events by kind")
+            self._m_retries = registry.counter(
+                "exchange_retries_total",
+                "lost-exchange re-deliveries priced as extra supersteps")
+            self._m_ckpt = registry.counter(
+                "checkpoint_seconds",
+                "modelled seconds spent taking CG-state checkpoints")
+            self._m_recoveries = registry.counter(
+                "dist_recoveries_total",
+                "crash recoveries (rollback + repartition onto survivors)")
+
+    def _on_fault_event(self, event) -> None:
+        """Mirror every injector event into the trace and metrics."""
+        if obs.enabled():
+            obs.event(f"fault/{event.kind}", "fault", event.as_dict())
+        if (self._m_faults is not None
+                and event.kind in ("straggler", "node_speeds",
+                                   "message_loss", "crash")):
+            self._m_faults.inc(1, kind=event.kind)
+
+    # --- checkpoint / restart ------------------------------------------------
+    #: vectors a CG checkpoint persists (x, r, p)
+    _CKPT_VECTORS = 3
+
+    def _take_checkpoint(self, k: int, x: np.ndarray, r: np.ndarray,
+                         p: np.ndarray, rtz: float, normr: float,
+                         normr0: float, residuals: List[float]) -> None:
+        """Snapshot CG state after iteration ``k``, priced as a gather.
+
+        Every node ships its share of the three CG vectors to node 0
+        (which persists them to stable storage) — one superstep.  The
+        in-memory snapshot is taken *after* the superstep is priced, so
+        a crash landing on the checkpoint barrier leaves the previous
+        snapshot as the rollback target, exactly like a torn write to
+        stable storage would.
+        """
+        with obs.span("fault/checkpoint", "fault", {"iteration": k}) as sp:
+            before = self._seconds
+            for node in range(1, self.nprocs):
+                self.tracker.send(
+                    node, 0,
+                    self._CKPT_VECTORS * self._agg_share_bytes(node, self.n),
+                    label="checkpoint")
+            stats = self.tracker.sync(label="checkpoint")
+            self._tick_superstep(
+                "fault/checkpoint",
+                _RESTRICT_COPY_BYTES * self._CKPT_VECTORS
+                * self._vector_share(self.n),
+                stats.h)
+            delta = self._seconds - before
+            self._checkpoint_seconds += delta
+            self._checkpoints += 1
+            self._checkpoint_state = CGCheckpoint(
+                k=k, x=x.copy(), r=r.copy(), p=p.copy(), rtz=rtz,
+                normr=normr, normr0=normr0, residuals=list(residuals))
+            if self._m_ckpt is not None:
+                self._m_ckpt.inc(delta)
+            self._injector.record("checkpoint",
+                                  self._injector.superstep - 1,
+                                  iteration=k)
+            if sp is not None:
+                sp.set(seconds=delta)
+                sp.tick(delta)
+
+    def _price_recovery(self, checkpoint: CGCheckpoint) -> None:
+        """Price the post-repartition restore: node 0 scatters each
+        survivor its share of the checkpointed vectors (one superstep
+        on the *new* node count)."""
+        with obs.span("fault/restore", "fault",
+                      {"iteration": checkpoint.k,
+                       "nprocs": self.nprocs}) as sp:
+            before = self._seconds
+            for node in range(1, self.nprocs):
+                self.tracker.send(
+                    0, node,
+                    self._CKPT_VECTORS * self._agg_share_bytes(node, self.n),
+                    label="restore")
+            stats = self.tracker.sync(label="restore")
+            self._tick_superstep(
+                "fault/restore",
+                _RESTRICT_COPY_BYTES * self._CKPT_VECTORS
+                * self._vector_share(self.n),
+                stats.h)
+            if sp is not None:
+                sp.tick(self._seconds - before)
+
+    # --- crash recovery ------------------------------------------------------
+    def _respawn_kwargs(self) -> dict:
+        """Constructor kwargs a survivor run inherits (subclasses add
+        their own).  Hybrid calibration is not re-run: the measured
+        node_speedup is adopted instead."""
+        return dict(
+            mg_levels=self.mg_levels,
+            machine=self.machine,
+            comm_mode=self.comm_mode,
+            agglomerate_below=self.agglomerate_below,
+            execute_local=False,
+            node_threads=self.node_threads,
+        )
+
+    def _respawn(self, nprocs: int) -> "SimulatedDistRun":
+        """Rebuild this run on ``nprocs`` surviving nodes, repartitioning
+        every level with the backend's own partitioner."""
+        return type(self)(self.problem, nprocs, **self._respawn_kwargs())
+
+    def _adopt(self, prior: "SimulatedDistRun") -> None:
+        """Continue ``prior``'s solve on this (survivor) run: inherit
+        its clocks, fault state and metric taps.  The timer registries
+        are shared objects, so the final run's totals are the honest
+        whole-execution time including every failed attempt; only the
+        tracker restarts (its per-node arrays are sized to the new
+        node count)."""
+        self.timers = prior.timers
+        self.comm_timers = prior.comm_timers
+        self._seconds = prior._seconds
+        self._comm_seconds = prior._comm_seconds
+        self._exposed_comm_seconds = prior._exposed_comm_seconds
+        self.tracker = CommTracker(self.nprocs)
+        self.faults = prior.faults
+        self._injector = prior._injector
+        self._checkpoint_state = prior._checkpoint_state
+        self._checkpoint_seconds = prior._checkpoint_seconds
+        self._checkpoints = prior._checkpoints
+        self._current_iteration = prior._current_iteration
+        self._m_supersteps = prior._m_supersteps
+        self._m_h = prior._m_h
+        self._m_comm = prior._m_comm
+        self._m_faults = prior._m_faults
+        self._m_retries = prior._m_retries
+        self._m_ckpt = prior._m_ckpt
+        self._m_recoveries = prior._m_recoveries
+        self.node_speedup = prior.node_speedup
+        self.node_threads = prior.node_threads
+        self.executed_local = prior.executed_local
+
+    # --- the resilient execution loop ----------------------------------------
+    def _run_cg_resilient(self, max_iters: int, use_mg: bool,
+                          tolerance: float) -> DistRunResult:
+        """Execute the solve under the active fault plan.
+
+        The numerics are the same transcription :meth:`run_cg` runs;
+        only pricing degrades (stragglers, heterogeneous speeds, retry
+        supersteps) and the execution path grows checkpoint supersteps
+        and — on a planned crash — rollback: repartition onto the
+        survivors, restore the last snapshot, re-execute from there.
+        The recovered residual history therefore equals the clean
+        run's exactly, while ``modelled_seconds`` honestly includes
+        checkpoint overhead, rollback and re-execution.
+        """
+        injector = FaultInjector(self.faults, self.nprocs)
+        injector.on_event = self._on_fault_event
+        run = self
+        run._injector = injector
+        run._checkpoint_state = None
+        run._checkpoint_seconds = 0.0
+        run._checkpoints = 0
+        run._current_iteration = 0
+        run._fresh_clocks()
+        res_series, iter_gauge, res_gauge = run._arm_metrics()
+        run._arm_fault_metrics()
+        injector.announce_speeds()
+        if run.execute_local and not run.executed_local:
+            run._calibrate_hybrid()
+
+        initial_nprocs = self.nprocs
+        reexecuted = 0
+        prior_supersteps = 0
+        prior_bytes = 0
+        pending_recovery: Optional[CGCheckpoint] = None
+        with obs.span("dist/run_cg", "dist", {
+            "backend": self.backend, "nprocs": self.nprocs, "n": self.n,
+            "mode": self.comm_mode, "machine": self.machine.name,
+            "mg_levels": self.mg_levels,
+            "node_speedup": self.node_speedup,
+            "faulted": True,
+        }) as rsp:
+            while True:
+                try:
+                    if pending_recovery is not None:
+                        run._price_recovery(pending_recovery)
+                    iterations, residuals = run._cg_attempt(
+                        max_iters, use_mg, tolerance,
+                        resume=pending_recovery,
+                        res_series=res_series, iter_gauge=iter_gauge,
+                        res_gauge=res_gauge)
+                    break
+                except NodeCrash as crash:
+                    checkpoint = run._checkpoint_state
+                    resume_k = checkpoint.k if checkpoint is not None else 0
+                    reexecuted += max(run._current_iteration - resume_k, 0)
+                    prior_supersteps += run.tracker.num_syncs
+                    prior_bytes += run.tracker.total_bytes
+                    survivors = injector.alive_count
+                    with obs.span("fault/recovery", "fault", {
+                        "crashed_node": crash.node,
+                        "superstep": crash.superstep,
+                        "survivors": survivors,
+                        "resume_iteration": resume_k,
+                    }):
+                        new_run = run._respawn(survivors)
+                    new_run._adopt(run)
+                    injector.recoveries += 1
+                    injector.record(
+                        "recovery", injector.superstep, node=crash.node,
+                        survivors=survivors, new_nprocs=new_run.nprocs,
+                        resume_iteration=resume_k,
+                        from_checkpoint=checkpoint is not None)
+                    if run._m_recoveries is not None:
+                        run._m_recoveries.inc(1)
+                    pending_recovery = checkpoint
+                    run = new_run
+            if rsp is not None:
+                rsp.set(iterations=iterations,
+                        recoveries=injector.recoveries,
+                        final_nprocs=run.nprocs)
+                rsp.tick(run._seconds)
+
+        manifest, run_metrics = run._obs_attachments(iterations)
+        resilience = {
+            "plan": self.faults.to_dict(),
+            "seed": self.faults.seed,
+            "events": [e.as_dict() for e in injector.events],
+            "injected": injector.injected_counts(),
+            "recoveries": injector.recoveries,
+            "checkpoints": run._checkpoints,
+            "checkpoint_seconds": run._checkpoint_seconds,
+            "exchange_retries": injector.exchange_retries,
+            "initial_nprocs": initial_nprocs,
+            "final_nprocs": run.nprocs,
+            "reexecuted_iterations": reexecuted,
+            "supersteps_total": prior_supersteps + run.tracker.num_syncs,
+            "comm_bytes_total": prior_bytes + run.tracker.total_bytes,
+        }
+        if run_metrics is not None:
+            run_metrics["recoveries"] = injector.recoveries
+            run_metrics["checkpoint_seconds"] = run._checkpoint_seconds
+            run_metrics["exchange_retries"] = injector.exchange_retries
+        return DistRunResult(
+            backend=run.backend,
+            nprocs=run.nprocs,
+            n=run.n,
+            iterations=iterations,
+            residuals=residuals,
+            modelled_seconds=run._seconds,
+            timers=run.timers,
+            tracker=run.tracker,
+            mg_levels=run.mg_levels,
+            comm_mode=run.comm_mode,
+            comm_seconds=run._comm_seconds,
+            exposed_comm_seconds=run._exposed_comm_seconds,
+            comm_timers=run.comm_timers,
+            machine=run.machine.name,
+            manifest=manifest,
+            metrics=run_metrics,
+            executed_local=run.executed_local,
+            node_threads=run.node_threads or 0,
+            node_speedup=run.node_speedup,
+            resilience=resilience,
+        )
+
+    def _cg_attempt(self, max_iters: int, use_mg: bool, tolerance: float,
+                    resume: Optional[CGCheckpoint], res_series,
+                    iter_gauge, res_gauge):
+        """One (re)execution attempt of the CG loop.
+
+        ``resume=None`` starts from the problem's initial guess with
+        exactly :meth:`run_cg`'s operation sequence; otherwise CG state
+        is restored from the checkpoint and the loop re-enters at
+        ``resume.k + 1`` — on the ``k > 1`` beta branch, with ``rtz``
+        restored, so every subsequent residual equals the clean run's.
+        Raises :class:`~repro.dist.faults.NodeCrash` when the injector
+        detects a planned failure at a barrier.
+        """
+        level0 = self.levels[0]
+        n = self.n
+        if resume is None:
+            b = self.problem.b.to_dense()
+            x = self.problem.x0.to_dense()
+            Ap = self._spmv(level0, x, "spmv", "cg/spmv")
+            r = np.multiply(b, 1.0)
+            r += -1.0 * Ap                             # r <- b - A x
+            self._waxpby_cost(n)
+            normr0 = normr = self._norm(r)
+            residuals = [normr]
+            if res_series is not None:
+                res_series.observe(normr, backend=self.backend)
+            rtz = 0.0
+            p = np.empty(n)
+            k_start = 1
+            iterations = 0
+        else:
+            x = resume.x.copy()
+            r = resume.r.copy()
+            p = resume.p.copy()
+            rtz = resume.rtz
+            normr = resume.normr
+            normr0 = resume.normr0
+            residuals = list(resume.residuals)
+            k_start = resume.k + 1
+            iterations = resume.k
+        ckpt_plan = self.faults.checkpoint
+        if normr0 != 0.0:
+            for k in range(k_start, max_iters + 1):
+                if tolerance > 0 and normr / normr0 <= tolerance:
+                    break
+                self._current_iteration = k
+                with obs.span("cg/iteration", "cg", {"k": k}) as sp:
+                    modelled_before = self._seconds
+                    if use_mg:
+                        z = self._precondition(r)      # z <- M r
+                    else:
+                        z = np.multiply(r, 1.0)
+                        z += 0.0 * r                   # z <- r
+                        self._waxpby_cost(n)
+                    if k == 1:
+                        np.multiply(z, 1.0, out=p)
+                        p += 0.0 * z                   # p <- z
+                        self._waxpby_cost(n)
+                        rtz = self._dot(r, z)
+                    else:
+                        rtz_old = rtz
+                        rtz = self._dot(r, z)
+                        beta = rtz / rtz_old
+                        p *= beta
+                        p += 1.0 * z                   # p <- z + beta p
+                        self._waxpby_cost(n)
+                    Ap = self._spmv(level0, p, "spmv", "cg/spmv")
+                    pAp = self._dot(p, Ap)
+                    alpha = rtz / pAp
+                    x *= 1.0
+                    x += alpha * p                     # x <- x + alpha p
+                    self._waxpby_cost(n)
+                    r *= 1.0
+                    r += -alpha * Ap                   # r <- r - alpha Ap
+                    self._waxpby_cost(n)
+                    normr = self._norm(r)
+                    if sp is not None:
+                        sp.set(normr=normr)
+                        sp.tick(self._seconds - modelled_before)
+                residuals.append(normr)
+                if res_series is not None:
+                    res_series.observe(normr, backend=self.backend)
+                    iter_gauge.set(k)
+                    res_gauge.set(normr)
+                iterations = k
+                if (ckpt_plan is not None and k % ckpt_plan.interval == 0
+                        and k < max_iters):
+                    self._take_checkpoint(k, x, r, p, rtz, normr, normr0,
+                                          residuals)
+        return iterations, residuals
+
+    def run_cg(self, max_iters: int = 50, use_mg: bool = True,
+               tolerance: float = 0.0) -> DistRunResult:
+        """Simulate a full preconditioned CG solve.
+
+        The iteration structure transcribes :func:`repro.hpcg.cg.pcg`
+        operation for operation, so the residual history is
+        bit-identical to the serial driver's — in either communication
+        mode, which changes pricing only.
+
+        Under an *active* :class:`~repro.dist.faults.FaultPlan` the
+        solve routes through the resilient execution loop instead
+        (same numerics, degraded pricing, checkpoint/restart recovery);
+        ``faults=None`` or an empty plan keeps this exact path.
+        """
+        if self.faults is not None and self.faults.active():
+            return self._run_cg_resilient(max_iters, use_mg, tolerance)
+        self._fresh_clocks()
+        res_series, iter_gauge, res_gauge = self._arm_metrics()
         level0 = self.levels[0]
         n = self.n
         b = self.problem.b.to_dense()
@@ -674,6 +1137,9 @@ class SimulatedDistRun:
             "node_threads": self.node_threads or 0,
             "node_speedup": self.node_speedup,
         })
+        if self.faults is not None and self.faults.active():
+            recorder.record_config(faults=self.faults.to_dict())
+            recorder.record_seed("fault_plan", self.faults.seed)
         manifest = obs.current().build_manifest()
         run_metrics = {
             "supersteps": self.tracker.num_syncs,

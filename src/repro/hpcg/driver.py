@@ -18,6 +18,7 @@ from __future__ import annotations
 import argparse
 import contextlib
 import os
+import sys
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -263,6 +264,90 @@ def _count_flops(
     return total
 
 
+#: Simulated distributed backends reachable from the CLI.
+DIST_BACKENDS = ("ref-3d", "alp-1d", "alp-2d")
+
+
+def _fail(message: str) -> int:
+    """One-line CLI error on stderr, exit code 2 — never a traceback."""
+    print(f"error: {message}", file=sys.stderr)
+    return 2
+
+
+def _unwritable_artifact(path: str) -> Optional[str]:
+    """Why ``path`` cannot be written, or None when it can."""
+    directory = os.path.dirname(path) or "."
+    if not os.path.isdir(directory):
+        return f"directory {directory!r} does not exist"
+    if not os.access(directory, os.W_OK):
+        return f"directory {directory!r} is not writable"
+    if os.path.isdir(path):
+        return f"{path!r} is a directory"
+    return None
+
+
+def _dist_backend(name: str, problem, args, faults=None):
+    from repro.dist import Hybrid2DRun, HybridALPRun, RefDistRun
+    cls = {"ref-3d": RefDistRun, "alp-1d": HybridALPRun,
+           "alp-2d": Hybrid2DRun}[name]
+    mg_levels = min(args.mg_levels, problem.grid.max_mg_levels())
+    return cls(problem, args.nprocs, mg_levels=max(mg_levels, 1),
+               faults=faults)
+
+
+def _describe_plan(plan) -> str:
+    parts = []
+    if plan.stragglers:
+        parts.append(f"{len(plan.stragglers)} straggler(s)")
+    if plan.node_speeds:
+        parts.append(f"{len(plan.node_speeds)} node speed(s)")
+    if plan.message_loss is not None:
+        parts.append(f"message loss {plan.message_loss.rate:.1%}")
+    if plan.crashes:
+        parts.append(f"{len(plan.crashes)} crash(es)")
+    if plan.checkpoint is not None:
+        parts.append(f"checkpoint every {plan.checkpoint.interval} iter(s)")
+    return ", ".join(parts) or "empty"
+
+
+def _run_dist(args, plan) -> int:
+    """The driver's simulated-distributed path (``--dist``).
+
+    With an active fault plan, a clean twin of the run prices the
+    fault-free baseline so the Resilience section can report the
+    degraded-vs-clean time-to-solution honestly.
+    """
+    problem = generate_problem(args.nx, args.ny, args.nz,
+                               b_style=args.b_style)
+    result = _dist_backend(args.dist, problem, args, faults=plan).run_cg(
+        max_iters=args.iters, tolerance=args.tolerance)
+    print(result.summary())
+    if plan is not None and plan.active():
+        clean = _dist_backend(args.dist, problem, args).run_cg(
+            max_iters=args.iters, tolerance=args.tolerance)
+        r = result.resilience
+        degraded = result.modelled_seconds
+        base = clean.modelled_seconds
+        overhead = (degraded / base - 1.0) if base else 0.0
+        print("Resilience:")
+        print(f"  plan: {_describe_plan(plan)} (seed {plan.seed})")
+        print(f"  clean time-to-solution:    {base:.6f}s")
+        print(f"  degraded time-to-solution: {degraded:.6f}s "
+              f"({overhead:+.1%})")
+        print(f"  recoveries: {r['recoveries']} "
+              f"(re-executed {r['reexecuted_iterations']} iteration(s), "
+              f"{r['initial_nprocs']} -> {r['final_nprocs']} nodes)")
+        print(f"  checkpoints: {r['checkpoints']} "
+              f"({r['checkpoint_seconds']:.6f}s overhead)")
+        print(f"  exchange retries: {r['exchange_retries']}")
+        print(f"  injected events: {len(r['events'])}")
+        print(f"  final residual matches clean run: "
+              f"{result.residuals == clean.residuals}")
+    if args.timers:
+        print(result.timers.report())
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point: ``repro-hpcg --nx 16 --iters 50``."""
     parser = argparse.ArgumentParser(description="HPCG on GraphBLAS (Python)")
@@ -321,15 +406,65 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "(sets REPRO_THREADS for this run: a count, "
                              "'auto' for the profile-fitted width, '0' to "
                              "kill the lane)")
+    parser.add_argument("--dist", choices=DIST_BACKENDS, default=None,
+                        help="run the simulated distributed solver with "
+                             "this backend instead of the serial benchmark")
+    parser.add_argument("--nprocs", type=int, default=4,
+                        help="simulated node count for --dist (default 4)")
+    parser.add_argument("--faults", metavar="PLAN.json", default=None,
+                        help="JSON fault plan for --dist: stragglers, "
+                             "node speeds, message loss, crashes, "
+                             "checkpoint cadence (see repro.dist.faults); "
+                             "adds a Resilience report section")
+    parser.add_argument("--push-url", metavar="URL", default=None,
+                        help="push the metrics exposition to this "
+                             "pushgateway-style URL when the run finishes "
+                             "(implies tracing on)")
+    parser.add_argument("--push-interval", metavar="SECONDS", type=float,
+                        default=None,
+                        help="also push periodically during the run, every "
+                             "SECONDS (needs --push-url)")
     args = parser.parse_args(argv)
     if args.threads is not None:
         from repro.graphblas.substrate import threads as threads_mod
         os.environ[threads_mod.ENV_VAR] = args.threads
         threads_mod.requested()   # fail fast on an unparsable value
+    # CLI robustness: every artifact/plan problem is a one-line error
+    # and exit code 2 — discovered before any solve work starts
+    for flag, path in (("--trace-json", args.trace_json),
+                       ("--metrics-json", args.metrics_json),
+                       ("--manifest-json", args.manifest_json),
+                       ("--trace-stream", args.trace_stream),
+                       ("--folded-out", args.folded_out)):
+        if path is not None:
+            why = _unwritable_artifact(path)
+            if why is not None:
+                return _fail(f"{flag} {path}: {why}")
+    if args.faults is not None and args.dist is None:
+        return _fail("--faults needs --dist (the fault model applies to "
+                     "the simulated distributed solver)")
+    if args.push_interval is not None:
+        if args.push_url is None:
+            return _fail("--push-interval needs --push-url")
+        if args.push_interval <= 0:
+            return _fail(f"--push-interval must be positive, "
+                         f"got {args.push_interval}")
+    if args.nprocs < 1:
+        return _fail(f"--nprocs must be >= 1, got {args.nprocs}")
+    fault_plan = None
+    if args.faults is not None:
+        from repro.dist import FaultPlan
+        from repro.util.errors import InvalidValue
+        try:
+            fault_plan = FaultPlan.from_json(args.faults)
+            fault_plan.validate_for(args.nprocs)
+        except InvalidValue as exc:
+            return _fail(str(exc))
     want_artifacts = bool(
         args.trace_json or args.metrics_json or args.manifest_json
         or args.compare_trace or args.serve_metrics is not None
         or args.trace_stream or args.sample_profile is not None
+        or args.push_url
     )
     sampler = None
     with contextlib.ExitStack() as scope:
@@ -364,15 +499,35 @@ def main(argv: Optional[List[str]] = None) -> int:
                                                tracer=live_ctx.tracer,
                                                registry=live_ctx.metrics)
                 scope.enter_context(sampler)
-        result = run_hpcg(
-            args.nx, args.ny, args.nz,
-            max_iters=args.iters,
-            tolerance=args.tolerance,
-            mg_levels=args.mg_levels,
-            b_style=args.b_style,
-        )
+            if args.push_url:
+                pusher = obs.MetricsPusher(
+                    args.push_url,
+                    source=obs.live.context_source(live_ctx).metrics_text,
+                    registry=live_ctx.metrics)
+                if args.push_interval is not None:
+                    scope.enter_context(
+                        obs.PeriodicPusher(pusher, args.push_interval))
+                    print(f"pushing metrics -> {pusher.target} "
+                          f"every {args.push_interval:g}s")
+                else:
+                    # one push on the way out (crash-safe: the stack
+                    # unwinds even when the solve raises)
+                    scope.callback(pusher.push)
+                    print(f"pushing metrics -> {pusher.target} on exit")
+        result = None
+        if args.dist is not None:
+            _run_dist(args, fault_plan)
+        else:
+            result = run_hpcg(
+                args.nx, args.ny, args.nz,
+                max_iters=args.iters,
+                tolerance=args.tolerance,
+                mg_levels=args.mg_levels,
+                b_style=args.b_style,
+            )
         obs_ctx = obs.current()   # env-armed context when no flag given
-    print(result.summary())
+    if result is not None:
+        print(result.summary())
     profile = None
     if args.profile:
         from repro.tune import cache as tune_cache
@@ -409,13 +564,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"trace comparison vs {args.compare_trace}:")
         print(obs.analyze.format_table(trace_diff, top=10))
         print(f"attribution: {obs.analyze.summarize(trace_diff)}")
-    if args.timers:
+    if args.timers and result is not None:
         print(result.timers.report())
     if args.report:
-        from repro.hpcg.report import render_report
-        print(render_report(result, profile=profile, obs_ctx=obs_ctx,
-                            trace_diff=trace_diff,
-                            trace_baseline=args.compare_trace))
+        if result is None:
+            print("(--report covers the serial benchmark; dist runs "
+                  "print their own summary and Resilience section)")
+        else:
+            from repro.hpcg.report import render_report
+            print(render_report(result, profile=profile, obs_ctx=obs_ctx,
+                                trace_diff=trace_diff,
+                                trace_baseline=args.compare_trace))
+    if result is None:
+        return 0
     return 0 if result.symmetry.passed else 1
 
 

@@ -71,6 +71,7 @@ from repro.obs.flame import folded_stacks, parse_folded
 from repro.obs.live import (
     LiveServer,
     MetricsPusher,
+    PeriodicPusher,
     TextfileCollector,
     context_source,
     file_source,
@@ -116,6 +117,7 @@ __all__ = [
     "ManifestRecorder",
     "MetricsPusher",
     "MetricsRegistry",
+    "PeriodicPusher",
     "RunContext",
     "SamplingProfiler",
     "Series",

@@ -1,5 +1,7 @@
 """The HPCG benchmark driver end-to-end."""
 
+import json
+
 import pytest
 
 from repro.hpcg.driver import main, run_hpcg
@@ -77,3 +79,107 @@ class TestCli:
                    "--timers"])
         assert rc == 0
         assert "mg/L0/rbgs" in capsys.readouterr().out
+
+
+class TestCliRobustness:
+    """Bad inputs exit with code 2 and one line on stderr — never a
+    traceback, never a half-finished solve."""
+
+    def _expect_error(self, capsys, argv, fragment):
+        rc = main(argv)
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert err.startswith("error:")
+        assert fragment in err
+        assert "Traceback" not in err
+
+    def test_unwritable_artifact_paths(self, capsys, tmp_path):
+        for flag in ("--trace-json", "--metrics-json", "--manifest-json",
+                     "--trace-stream", "--folded-out"):
+            self._expect_error(
+                capsys,
+                ["--nx", "4", "--iters", "1", "--mg-levels", "2",
+                 flag, str(tmp_path / "no" / "such" / "dir" / "out.json")],
+                "does not exist")
+
+    def test_artifact_path_is_a_directory(self, capsys, tmp_path):
+        self._expect_error(
+            capsys,
+            ["--nx", "4", "--iters", "1", "--mg-levels", "2",
+             "--trace-json", str(tmp_path)],
+            "is a directory")
+
+    def test_faults_without_dist(self, capsys, tmp_path):
+        plan = tmp_path / "plan.json"
+        plan.write_text('{"seed": 1}\n')
+        self._expect_error(
+            capsys, ["--nx", "4", "--faults", str(plan)], "--dist")
+
+    def test_missing_fault_plan(self, capsys, tmp_path):
+        self._expect_error(
+            capsys,
+            ["--nx", "4", "--dist", "ref-3d",
+             "--faults", str(tmp_path / "absent.json")],
+            "cannot read")
+
+    def test_malformed_fault_plan(self, capsys, tmp_path):
+        plan = tmp_path / "broken.json"
+        plan.write_text("{this is not json")
+        self._expect_error(
+            capsys,
+            ["--nx", "4", "--dist", "ref-3d", "--faults", str(plan)],
+            "not valid JSON")
+
+    def test_unknown_plan_key(self, capsys, tmp_path):
+        plan = tmp_path / "typo.json"
+        plan.write_text(json.dumps({"seed": 1, "stragler": []}))
+        self._expect_error(
+            capsys,
+            ["--nx", "4", "--dist", "ref-3d", "--faults", str(plan)],
+            "unknown key")
+
+    def test_plan_node_out_of_range(self, capsys, tmp_path):
+        plan = tmp_path / "oob.json"
+        plan.write_text(json.dumps(
+            {"crashes": [{"node": 9, "superstep": 5}]}))
+        self._expect_error(
+            capsys,
+            ["--nx", "4", "--dist", "ref-3d", "--nprocs", "4",
+             "--faults", str(plan)],
+            "out of range")
+
+    def test_push_interval_needs_push_url(self, capsys):
+        self._expect_error(
+            capsys, ["--nx", "4", "--push-interval", "5"], "--push-url")
+
+    def test_nonpositive_nprocs(self, capsys):
+        self._expect_error(
+            capsys, ["--nx", "4", "--dist", "ref-3d", "--nprocs", "0"],
+            "nprocs")
+
+
+class TestDistCli:
+    def test_dist_clean_run(self, capsys):
+        rc = main(["--nx", "4", "--iters", "3", "--mg-levels", "2",
+                   "--dist", "ref-3d", "--nprocs", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ref-3d: p=4" in out
+        assert "Resilience" not in out     # no plan, no section
+
+    def test_dist_faulted_run_reports_resilience(self, capsys, tmp_path):
+        plan = tmp_path / "plan.json"
+        plan.write_text(json.dumps({
+            "seed": 7,
+            "crashes": [{"node": 1, "superstep": 200}],
+            "checkpoint": {"interval": 2},
+        }))
+        rc = main(["--nx", "8", "--iters", "4", "--mg-levels", "2",
+                   "--dist", "ref-3d", "--nprocs", "4",
+                   "--faults", str(plan)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Resilience:" in out
+        assert "clean time-to-solution" in out
+        assert "recoveries: 1" in out
+        assert "final residual matches clean run: True" in out

@@ -1,9 +1,25 @@
-"""Failure injection: the stack must reject or surface broken inputs."""
+"""Failure injection: broken inputs are rejected, and injected machine
+faults (stragglers, heterogeneous speeds, message loss, node crashes)
+are deterministic, priced honestly, and recovered from exactly."""
+
+from types import SimpleNamespace
 
 import numpy as np
 import pytest
 
 from repro import graphblas as grb
+from repro.dist import (
+    Checkpoint,
+    Crash,
+    FaultInjector,
+    FaultPlan,
+    Hybrid2DRun,
+    HybridALPRun,
+    MessageLoss,
+    NodeCrash,
+    RefDistRun,
+    Straggler,
+)
 from repro.hpcg.cg import pcg
 from repro.hpcg.coloring import color_masks, lattice_coloring
 from repro.hpcg.multigrid import MGPreconditioner, build_hierarchy
@@ -12,6 +28,18 @@ from repro.hpcg.smoothers import RBGSSmoother
 from repro.hpcg.symmetry import validate
 from repro.ref.sgs import RefRBGS, RefSymGS
 from repro.util.errors import InvalidValue
+
+ALL_BACKENDS = (RefDistRun, HybridALPRun, Hybrid2DRun)
+
+
+@pytest.fixture(scope="module")
+def dist_problem():
+    return generate_problem(8, 16, 16)
+
+
+def _run(cls, problem, faults=None, max_iters=5, **kw):
+    return cls(problem, 4, mg_levels=3, faults=faults,
+               **kw).run_cg(max_iters=max_iters)
 
 
 class TestBrokenOperators:
@@ -142,3 +170,215 @@ class TestGoldenRegression:
                  max_iters=200, tolerance=1e-8)
         assert plain.iterations == 12
         assert mg.iterations == 7
+
+
+class TestFaultPlanSchema:
+    def test_component_validation(self):
+        with pytest.raises(InvalidValue):
+            Straggler(node=0, factor=0.5)
+        with pytest.raises(InvalidValue):
+            Straggler(node=-1, factor=2.0)
+        with pytest.raises(InvalidValue):
+            Straggler(node=0, factor=2.0, start_superstep=5, end_superstep=5)
+        with pytest.raises(InvalidValue):
+            MessageLoss(rate=1.0)
+        with pytest.raises(InvalidValue):
+            MessageLoss(rate=0.1, max_retries=0)
+        with pytest.raises(InvalidValue):
+            Crash(node=0, superstep=-1)
+        with pytest.raises(InvalidValue):
+            Checkpoint(interval=0)
+        with pytest.raises(InvalidValue):
+            FaultPlan(node_speeds={0: 0.0})
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(InvalidValue, match="unknown key"):
+            FaultPlan.from_dict({"seed": 1, "stragler": []})
+        with pytest.raises(InvalidValue, match="unknown key"):
+            FaultPlan.from_dict({"crashes": [{"node": 0, "when": 3}]})
+
+    def test_bools_are_not_numbers(self):
+        with pytest.raises(InvalidValue):
+            FaultPlan.from_dict({"seed": True})
+        with pytest.raises(InvalidValue):
+            FaultPlan.from_dict(
+                {"stragglers": [{"node": 0, "factor": True}]})
+
+    def test_round_trip(self):
+        plan = FaultPlan(
+            seed=42,
+            stragglers=(Straggler(1, 3.0, 10, 200),),
+            node_speeds={0: 0.5, 2: 0.75},
+            message_loss=MessageLoss(rate=0.2, max_retries=4, backoff=1e-5),
+            crashes=(Crash(3, 500),),
+            checkpoint=Checkpoint(interval=2),
+        )
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_json_errors_become_invalid_value(self, tmp_path):
+        with pytest.raises(InvalidValue, match="cannot read"):
+            FaultPlan.from_json(str(tmp_path / "missing.json"))
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(InvalidValue, match="not valid JSON"):
+            FaultPlan.from_json(str(bad))
+
+    def test_validate_for_ranges_and_survivors(self):
+        FaultPlan(crashes=(Crash(1, 5),)).validate_for(4)
+        with pytest.raises(InvalidValue, match="out of range"):
+            FaultPlan(stragglers=(Straggler(4, 2.0),)).validate_for(4)
+        with pytest.raises(InvalidValue, match="out of range"):
+            FaultPlan(node_speeds={7: 0.5}).validate_for(4)
+        with pytest.raises(InvalidValue, match="no survivors"):
+            FaultPlan(crashes=tuple(
+                Crash(i, 10) for i in range(4))).validate_for(4)
+
+    def test_speeds_from_profiles_round_robin(self):
+        profiles = [SimpleNamespace(triad_bandwidth=20e9),
+                    SimpleNamespace(triad_bandwidth=10e9)]
+        speeds = FaultPlan.speeds_from_profiles(profiles, 4)
+        assert speeds == {0: 1.0, 1: 0.5, 2: 1.0, 3: 0.5}
+        with pytest.raises(InvalidValue):
+            FaultPlan.speeds_from_profiles([], 4)
+
+    def test_empty_plan_is_inactive(self):
+        assert not FaultPlan().active()
+        assert FaultPlan(checkpoint=Checkpoint(1)).active()
+
+
+class TestFaultFreeBitIdentity:
+    """An inactive plan must leave the engine on the exact clean path."""
+
+    @pytest.mark.parametrize("cls", ALL_BACKENDS)
+    def test_empty_plan_bit_identical(self, dist_problem, cls):
+        clean = _run(cls, dist_problem, faults=None)
+        empty = _run(cls, dist_problem, faults=FaultPlan(seed=123))
+        assert clean.residuals == empty.residuals
+        assert clean.modelled_seconds == empty.modelled_seconds
+        assert clean.comm_bytes == empty.comm_bytes
+        assert empty.resilience is None
+
+
+class TestSeededDeterminism:
+    def test_same_seed_same_run(self, dist_problem):
+        plan = FaultPlan(
+            seed=11,
+            stragglers=(Straggler(0, 2.5, 50, 300),),
+            message_loss=MessageLoss(rate=0.3, max_retries=3),
+        )
+        a = _run(RefDistRun, dist_problem, faults=plan)
+        b = _run(RefDistRun, dist_problem, faults=plan)
+        assert a.residuals == b.residuals
+        assert a.modelled_seconds == b.modelled_seconds
+        assert a.resilience["events"] == b.resilience["events"]
+        assert a.resilience["exchange_retries"] \
+            == b.resilience["exchange_retries"]
+
+    def test_different_seed_different_losses(self, dist_problem):
+        def retries(seed):
+            plan = FaultPlan(seed=seed,
+                             message_loss=MessageLoss(rate=0.4))
+            return _run(RefDistRun, dist_problem,
+                        faults=plan).resilience["exchange_retries"]
+
+        assert retries(1) != retries(2)
+
+
+class TestDegradedButCorrect:
+    """Faults slow the modelled clock but never touch the numerics."""
+
+    def test_straggler_prices_but_preserves_residuals(self, dist_problem):
+        clean = _run(RefDistRun, dist_problem)
+        slow = _run(RefDistRun, dist_problem, faults=FaultPlan(
+            stragglers=(Straggler(1, 4.0),)))
+        assert slow.residuals == clean.residuals
+        assert slow.modelled_seconds > clean.modelled_seconds
+        assert slow.resilience["injected"].get("straggler", 0) > 0
+
+    def test_transient_cheaper_than_permanent(self, dist_problem):
+        transient = _run(RefDistRun, dist_problem, faults=FaultPlan(
+            stragglers=(Straggler(1, 4.0, 0, 100),)))
+        permanent = _run(RefDistRun, dist_problem, faults=FaultPlan(
+            stragglers=(Straggler(1, 4.0),)))
+        assert transient.modelled_seconds < permanent.modelled_seconds
+        assert transient.residuals == permanent.residuals
+
+    def test_heterogeneous_speeds(self, dist_problem):
+        clean = _run(HybridALPRun, dist_problem)
+        hetero = _run(HybridALPRun, dist_problem, faults=FaultPlan(
+            node_speeds={1: 0.5}))
+        assert hetero.residuals == clean.residuals
+        assert hetero.modelled_seconds > clean.modelled_seconds
+
+    def test_message_loss_retries_priced(self, dist_problem):
+        clean = _run(RefDistRun, dist_problem)
+        lossy = _run(RefDistRun, dist_problem, faults=FaultPlan(
+            seed=3, message_loss=MessageLoss(rate=0.5, max_retries=4)))
+        assert lossy.residuals == clean.residuals
+        assert lossy.resilience["exchange_retries"] > 0
+        assert lossy.modelled_seconds > clean.modelled_seconds
+        # retries are real supersteps pointing back at the original
+        retry_steps = [s for s in lossy.tracker.supersteps
+                       if s.retry_of is not None]
+        assert len(retry_steps) == lossy.resilience["exchange_retries"]
+        assert lossy.syncs > clean.syncs
+
+
+class TestCrashRecovery:
+    """Checkpoint/restart on every backend: the survivor run must land
+    on exactly the clean residual history, at an honestly higher cost."""
+
+    PLAN = FaultPlan(seed=7, crashes=(Crash(1, 400),),
+                     checkpoint=Checkpoint(interval=2))
+
+    @pytest.mark.parametrize("cls", ALL_BACKENDS)
+    def test_crash_recovers_exactly(self, dist_problem, cls):
+        clean = _run(cls, dist_problem)
+        faulted = _run(cls, dist_problem, faults=self.PLAN)
+        assert faulted.residuals == clean.residuals
+        assert faulted.modelled_seconds > clean.modelled_seconds
+        r = faulted.resilience
+        assert r["recoveries"] == 1
+        assert r["initial_nprocs"] == 4
+        assert r["final_nprocs"] < 4
+        assert r["checkpoints"] >= 1
+        assert r["checkpoint_seconds"] > 0
+        assert r["reexecuted_iterations"] >= 0
+        kinds = {e["kind"] for e in r["events"]}
+        assert {"crash", "checkpoint", "recovery"} <= kinds
+        assert faulted.nprocs == r["final_nprocs"]
+        assert "[faults:" in faulted.summary()
+
+    def test_crash_without_checkpoint_restarts(self, dist_problem):
+        clean = _run(RefDistRun, dist_problem)
+        faulted = _run(RefDistRun, dist_problem, faults=FaultPlan(
+            seed=7, crashes=(Crash(1, 400),)))
+        assert faulted.residuals == clean.residuals
+        r = faulted.resilience
+        assert r["recoveries"] == 1
+        assert r["checkpoints"] == 0
+        # no snapshot to roll back to: every finished iteration re-runs
+        assert r["reexecuted_iterations"] > 0
+        assert faulted.modelled_seconds > clean.modelled_seconds
+
+    def test_checkpoint_only_plan_adds_overhead(self, dist_problem):
+        clean = _run(RefDistRun, dist_problem)
+        ckpt = _run(RefDistRun, dist_problem, faults=FaultPlan(
+            checkpoint=Checkpoint(interval=1)))
+        assert ckpt.residuals == clean.residuals
+        assert ckpt.modelled_seconds > clean.modelled_seconds
+        assert ckpt.resilience["checkpoints"] == 4
+        assert ckpt.resilience["recoveries"] == 0
+
+    def test_injector_crash_bookkeeping(self):
+        plan = FaultPlan(crashes=(Crash(2, 5),))
+        inj = FaultInjector(plan, 4)
+        for _ in range(5):
+            step = inj.begin_superstep()
+            inj.check_crash(step)
+        step = inj.begin_superstep()
+        with pytest.raises(NodeCrash) as exc:
+            inj.check_crash(step)
+        assert exc.value.node == 2
+        assert inj.alive_count == 3
+        assert 2 not in inj.alive

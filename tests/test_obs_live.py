@@ -509,6 +509,111 @@ class TestPushTransports:
         assert collector.writes == 2
 
 
+class TestPushBackoffHardening:
+    """Retry pacing under a dead gateway, on a monkeypatched clock —
+    no real sleeps, no real elapsed time."""
+
+    DEAD = "http://127.0.0.1:9"
+
+    @staticmethod
+    def _instrument(pusher, clock_step: float = 0.0):
+        """Replace the pusher's clock/sleep/random with fakes; returns
+        the list real sleeps would have drawn from."""
+        sleeps = []
+        now = [0.0]
+
+        def monotonic():
+            now[0] += clock_step
+            return now[0]
+
+        pusher._monotonic = monotonic
+        pusher._sleep = sleeps.append
+        pusher._random = lambda: 0.5
+        return sleeps
+
+    def test_full_jitter_scales_exponential_delays(self):
+        pusher = live.MetricsPusher(self.DEAD, retries=3, backoff=0.2,
+                                    timeout=0.2)
+        sleeps = self._instrument(pusher)
+        assert pusher.push("x 1\n") is False
+        # delay = backoff * 2**attempt * uniform(0,1), with the draw
+        # pinned at 0.5
+        assert sleeps == pytest.approx([0.1, 0.2, 0.4])
+
+    def test_jitter_off_restores_deterministic_backoff(self):
+        pusher = live.MetricsPusher(self.DEAD, retries=3, backoff=0.2,
+                                    jitter=False, timeout=0.2)
+        sleeps = self._instrument(pusher)
+        assert pusher.push("x 1\n") is False
+        assert sleeps == pytest.approx([0.2, 0.4, 0.8])
+
+    def test_wall_clock_cap_beats_retry_count(self):
+        # a generous retry budget, but the monotonic clock advances 25s
+        # per reading against a 60s cap: the loop must give up early
+        # and clamp its last sleep to the remaining budget
+        pusher = live.MetricsPusher(self.DEAD, retries=100, backoff=1000.0,
+                                    jitter=False, max_elapsed=60.0,
+                                    timeout=0.2)
+        sleeps = self._instrument(pusher, clock_step=25.0)
+        assert pusher.push("x 1\n") is False
+        assert pusher.failures == 1
+        assert sleeps == pytest.approx([35.0, 10.0])   # clamped, then done
+
+    def test_max_elapsed_validation(self):
+        with pytest.raises(InvalidValue):
+            live.MetricsPusher("http://x", max_elapsed=0.0)
+
+
+class _CountingPusher:
+    """Stands in for MetricsPusher where only push() counts matter."""
+
+    def __init__(self):
+        self.pushes = 0
+
+    def push(self, text=None):
+        self.pushes += 1
+        return True
+
+
+class TestPeriodicPusher:
+    def test_periodic_ticks_and_final_push(self):
+        pusher = _CountingPusher()
+        periodic = live.PeriodicPusher(pusher, interval=0.02)
+        periodic.start()
+        assert periodic.running
+        deadline = time.perf_counter() + 5.0
+        while periodic.ticks < 2 and time.perf_counter() < deadline:
+            time.sleep(0.01)
+        periodic.stop()
+        assert not periodic.running
+        assert periodic.ticks >= 2
+        # every tick pushed, plus the final push on stop
+        assert pusher.pushes == periodic.ticks + 1
+
+    def test_stop_without_final_push(self):
+        pusher = _CountingPusher()
+        with live.PeriodicPusher(pusher, interval=60.0,
+                                 final_push=False) as periodic:
+            assert periodic.running
+        assert not periodic.running
+        assert pusher.pushes == periodic.ticks  # no extra final push
+
+    def test_lifecycle_validation(self):
+        with pytest.raises(InvalidValue):
+            live.PeriodicPusher(_CountingPusher(), interval=0.0)
+        periodic = live.PeriodicPusher(_CountingPusher(), interval=60.0)
+        periodic.start()
+        try:
+            with pytest.raises(InvalidValue):
+                periodic.start()
+        finally:
+            periodic.stop()
+        periodic.stop()                          # idempotent
+
+    def test_exported_from_obs_package(self):
+        assert obs.PeriodicPusher is live.PeriodicPusher
+
+
 # ---------------------------------------------------------------------------
 # sampling profiler
 # ---------------------------------------------------------------------------
